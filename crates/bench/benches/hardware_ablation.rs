@@ -1,0 +1,42 @@
+//! Ablation: trap penalty and parallel-check scope, the hardware parameters the
+//! paper's §6.2 discussion turns on.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mipsx::{HwConfig, ParallelCheck};
+use tagstudy::{CheckingMode, Config};
+
+fn bench_trap_penalty(c: &mut Criterion) {
+    let mut g = c.benchmark_group("trap_penalty");
+    g.sample_size(10);
+    for penalty in [5u32, 20, 80] {
+        let hw = HwConfig {
+            trap_penalty: penalty,
+            ..HwConfig::with_generic_arith()
+        };
+        let cfg = Config::baseline(CheckingMode::Full).with_hw(hw);
+        g.bench_function(format!("penalty={penalty}"), |b| {
+            b.iter(|| tagstudy::run_program("rat", &cfg).expect("runs"))
+        });
+    }
+    g.finish();
+}
+
+fn bench_parallel_scope(c: &mut Criterion) {
+    let mut g = c.benchmark_group("parallel_check_scope");
+    g.sample_size(10);
+    for (label, scope) in [
+        ("none", ParallelCheck::None),
+        ("lists", ParallelCheck::Lists),
+        ("all", ParallelCheck::All),
+    ] {
+        let cfg =
+            Config::baseline(CheckingMode::Full).with_hw(HwConfig::with_parallel_check(scope));
+        g.bench_function(label, |b| {
+            b.iter(|| tagstudy::run_program("trav", &cfg).expect("runs"))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_trap_penalty, bench_parallel_scope);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Ablation: the four tag schemes head-to-head on a representative benchmark —
+//! the design choice DESIGN.md calls out (high vs low tags, 5 vs 6 bits).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tagstudy::{CheckingMode, Config};
+use tagword::ALL_SCHEMES;
+
+fn bench_schemes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("schemes");
+    g.sample_size(10);
+    for scheme in ALL_SCHEMES {
+        for checking in [CheckingMode::None, CheckingMode::Full] {
+            let cfg = Config::new(scheme, checking);
+            g.bench_function(format!("{scheme}/{checking:?}"), |b| {
+                b.iter(|| tagstudy::run_program("boyer", &cfg).expect("runs"))
+            });
+        }
+    }
+    g.finish();
+}
+
+fn bench_preshifted_tag(c: &mut Criterion) {
+    let mut g = c.benchmark_group("preshift_ablation");
+    g.sample_size(10);
+    for pre in [false, true] {
+        let cfg = Config {
+            preshifted_pair_tag: pre,
+            ..Config::baseline(CheckingMode::None)
+        };
+        g.bench_function(format!("preshift={pre}"), |b| {
+            b.iter(|| tagstudy::run_program("inter", &cfg).expect("runs"))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_schemes, bench_preshifted_tag);
+criterion_main!(benches);

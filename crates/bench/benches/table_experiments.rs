@@ -1,0 +1,79 @@
+//! Criterion benches mirroring the paper's tables and figures: each group times
+//! the simulations that one table/figure aggregates, so `cargo bench` both
+//! regenerates the numbers (printed once up front) and tracks the harness's own
+//! performance.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tagstudy::{report, tables, CheckingMode, Config};
+
+/// Table 1 / Figure 1 substrate: every benchmark in both checking modes.
+fn bench_checking_modes(c: &mut Criterion) {
+    // Print the actual tables once, so `cargo bench` output doubles as the
+    // experiment record.
+    if let Ok(t) = tables::table1_for(&["frl", "trav", "boyer"]) {
+        println!("{}", report::render_table1(&t));
+    }
+    let mut g = c.benchmark_group("table1_figure1");
+    g.sample_size(10);
+    for name in ["frl", "trav", "rat"] {
+        for checking in [CheckingMode::None, CheckingMode::Full] {
+            let cfg = Config::baseline(checking);
+            g.bench_function(format!("{name}/{checking:?}"), |b| {
+                b.iter(|| tagstudy::run_program(name, &cfg).expect("runs"))
+            });
+        }
+    }
+    g.finish();
+}
+
+/// Figure 2 substrate: masking vs no-masking runs.
+fn bench_masking(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figure2");
+    g.sample_size(10);
+    let base = Config::baseline(CheckingMode::None);
+    let drop = base.with_hw(mipsx::HwConfig::with_address_drop(5));
+    g.bench_function("frl/masked", |b| {
+        b.iter(|| tagstudy::run_program("frl", &base).expect("runs"))
+    });
+    g.bench_function("frl/unmasked", |b| {
+        b.iter(|| tagstudy::run_program("frl", &drop).expect("runs"))
+    });
+    g.finish();
+}
+
+/// Table 2 substrate: the support levels on one benchmark.
+fn bench_support_levels(c: &mut Criterion) {
+    use mipsx::{HwConfig, ParallelCheck};
+    let mut g = c.benchmark_group("table2");
+    g.sample_size(10);
+    let rows: Vec<(&str, HwConfig)> = vec![
+        ("row0_base", HwConfig::plain()),
+        ("row1_drop", HwConfig::with_address_drop(5)),
+        ("row2_tagbr", HwConfig::with_tag_branch()),
+        ("row4_genarith", HwConfig::with_generic_arith()),
+        (
+            "row5_lists",
+            HwConfig::with_parallel_check(ParallelCheck::Lists),
+        ),
+        (
+            "row6_all",
+            HwConfig::with_parallel_check(ParallelCheck::All),
+        ),
+        ("row7_maximal", HwConfig::maximal(5)),
+    ];
+    for (label, hw) in rows {
+        let cfg = Config::baseline(CheckingMode::Full).with_hw(hw);
+        g.bench_function(label, |b| {
+            b.iter(|| tagstudy::run_program("deduce", &cfg).expect("runs"))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_checking_modes,
+    bench_masking,
+    bench_support_levels
+);
+criterion_main!(benches);

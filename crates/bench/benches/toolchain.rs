@@ -1,0 +1,33 @@
+//! Host-side performance of the toolchain itself: compilation and raw
+//! simulation speed.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lisp::{CheckingMode, Options};
+use tagword::TagScheme;
+
+fn bench_compile(c: &mut Criterion) {
+    let mut g = c.benchmark_group("compile");
+    g.sample_size(20);
+    let boyer = programs::by_name("boyer").unwrap();
+    for checking in [CheckingMode::None, CheckingMode::Full] {
+        let opts = Options::new(TagScheme::HighTag5, checking);
+        g.bench_function(format!("boyer/{checking:?}"), |b| {
+            b.iter(|| boyer.compile(&opts).expect("compiles"))
+        });
+    }
+    g.finish();
+}
+
+fn bench_simulator_throughput(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulator");
+    g.sample_size(10);
+    let b = programs::by_name("frl").unwrap();
+    let compiled = b.compile(&Options::default()).unwrap();
+    g.bench_function("frl_cycles_per_run", |bch| {
+        bch.iter(|| lisp::run(&compiled, programs::FUEL).expect("runs"))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_compile, bench_simulator_throughput);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Run every experiment and print the full report (EXPERIMENTS.md source).
+
+fn main() {
+    use tagstudy::{report, tables};
+    let names = tables::default_programs();
+
+    println!("== Table 3 ==");
+    print!(
+        "{}",
+        report::render_table3(&bench::unwrap_study(tables::table3()))
+    );
+    println!();
+
+    println!("== Table 1 ==");
+    print!(
+        "{}",
+        report::render_table1(&bench::unwrap_study(tables::table1()))
+    );
+    println!();
+
+    println!("== Figure 1 ==");
+    print!(
+        "{}",
+        report::render_figure1(&bench::unwrap_study(tables::figure1()))
+    );
+    print!(
+        "{}",
+        report::render_preshift(&bench::unwrap_study(tables::preshift_study_for(&names)))
+    );
+    println!();
+
+    println!("== Figure 2 ==");
+    print!(
+        "{}",
+        report::render_figure2(&bench::unwrap_study(tables::figure2()))
+    );
+    println!();
+
+    println!("== Table 2 ==");
+    print!(
+        "{}",
+        report::render_table2(&bench::unwrap_study(tables::table2()))
+    );
+    println!();
+
+    println!("== Integer-test methods (§4.1) ==");
+    print!(
+        "{}",
+        report::render_int_test(&bench::unwrap_study(tables::int_test_study_for(&names)))
+    );
+    println!();
+
+    println!("== Generic arithmetic (§4.2 / §6.2.2) ==");
+    print!(
+        "{}",
+        report::render_generic(&bench::unwrap_study(tables::generic_arith_study_for(
+            &names
+        )))
+    );
+    println!();
+
+    println!("== Scheme comparison (extension) ==");
+    print!(
+        "{}",
+        report::render_schemes(&bench::unwrap_study(tables::scheme_comparison_for(&names)))
+    );
+}

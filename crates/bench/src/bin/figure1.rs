@@ -1,0 +1,10 @@
+//! Regenerate Figure 1: % of time spent on each tag-handling operation.
+
+fn main() {
+    let f = bench::unwrap_study(tagstudy::tables::figure1());
+    print!("{}", tagstudy::report::render_figure1(&f));
+    let p = bench::unwrap_study(tagstudy::tables::preshift_study_for(
+        &tagstudy::tables::default_programs(),
+    ));
+    print!("{}", tagstudy::report::render_preshift(&p));
+}

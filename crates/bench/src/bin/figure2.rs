@@ -1,0 +1,7 @@
+//! Regenerate Figure 2: instruction-frequency reduction from eliminating
+//! tag masking.
+
+fn main() {
+    let f = bench::unwrap_study(tagstudy::tables::figure2());
+    print!("{}", tagstudy::report::render_figure2(&f));
+}

@@ -1,0 +1,8 @@
+//! Regenerate the §4.2/§6.2.2 generic-arithmetic studies.
+
+fn main() {
+    let g = bench::unwrap_study(tagstudy::tables::generic_arith_study_for(
+        &tagstudy::tables::default_programs(),
+    ));
+    print!("{}", tagstudy::report::render_generic(&g));
+}

@@ -1,0 +1,6 @@
+//! Regenerate Table 1: % increase in execution time from full run-time checking.
+
+fn main() {
+    let t = bench::unwrap_study(tagstudy::tables::table1());
+    print!("{}", tagstudy::report::render_table1(&t));
+}

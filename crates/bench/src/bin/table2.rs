@@ -1,0 +1,7 @@
+//! Regenerate Table 2: % of cycles eliminated by each hardware/software
+//! support level, including the §7 SPUR comparison.
+
+fn main() {
+    let t = bench::unwrap_study(tagstudy::tables::table2());
+    print!("{}", tagstudy::report::render_table2(&t));
+}

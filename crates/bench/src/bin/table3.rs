@@ -1,0 +1,6 @@
+//! Regenerate Table 3: static statistics of the ten benchmark programs.
+
+fn main() {
+    let t = bench::unwrap_study(tagstudy::tables::table3());
+    print!("{}", tagstudy::report::render_table3(&t));
+}

@@ -1,0 +1,17 @@
+//! Shared helpers for the table/figure regeneration binaries and Criterion
+//! benches. The binaries (`table1`, `table2`, `table3`, `figure1`, `figure2`,
+//! `generic_arith`, `all_experiments`) print the paper's tables next to the
+//! measured values; the Criterion benches time the underlying simulations.
+
+#![deny(missing_docs)]
+
+/// Exit with a readable message on measurement failure.
+pub fn unwrap_study<T>(r: Result<T, tagstudy::StudyError>) -> T {
+    match r {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("measurement failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,164 @@
+//! The Lisp system library ("the LISP system modules", as the paper calls the
+//! PSL code each benchmark links in). Compiled together with every program under
+//! the same checking mode, so library list walks are checked exactly like user
+//! code.
+
+/// The prelude source.
+pub const PRELUDE: &str = r#"
+; --- structural equality ------------------------------------------------
+(defun equal (a b)
+  (cond ((eq a b) t)
+        ((and (pairp a) (pairp b))
+         (and (equal (car a) (car b)) (equal (cdr a) (cdr b))))
+        (t nil)))
+
+; --- list utilities -------------------------------------------------------
+(defun append (a b)
+  (if (null a) b (cons (car a) (append (cdr a) b))))
+
+(defun reverse (l)
+  (let ((r nil))
+    (while (pairp l)
+      (setq r (cons (car l) r))
+      (setq l (cdr l)))
+    r))
+
+(defun length (l)
+  (let ((n 0))
+    (while (pairp l)
+      (setq n (add1 n))
+      (setq l (cdr l)))
+    n))
+
+(defun assq (k al)
+  (while (and (pairp al) (not (eq (caar al) k)))
+    (setq al (cdr al)))
+  (if (pairp al) (car al) nil))
+
+(defun assoc (k al)
+  (while (and (pairp al) (not (equal (caar al) k)))
+    (setq al (cdr al)))
+  (if (pairp al) (car al) nil))
+
+(defun memq (x l)
+  (while (and (pairp l) (not (eq (car l) x)))
+    (setq l (cdr l)))
+  l)
+
+(defun member (x l)
+  (while (and (pairp l) (not (equal (car l) x)))
+    (setq l (cdr l)))
+  l)
+
+(defun nth (l n)
+  (while (greaterp n 0)
+    (setq l (cdr l))
+    (setq n (sub1 n)))
+  (car l))
+
+(defun last (l)
+  (while (pairp (cdr l))
+    (setq l (cdr l)))
+  l)
+
+(defun nconc (a b)
+  (if (null a) b
+    (progn (rplacd (last a) b) a)))
+
+(defun copy-list (l)
+  (if (pairp l) (cons (car l) (copy-list (cdr l))) l))
+
+(defun copy-tree (x)
+  (if (pairp x) (cons (copy-tree (car x)) (copy-tree (cdr x))) x))
+
+(defun mapcar1 (f l)
+  (if (null l) nil
+    (cons (funcall f (car l)) (mapcar1 f (cdr l)))))
+
+; --- property lists ----------------------------------------------------------
+(defun get (s k)
+  (let ((pl (plist s)))
+    (while (and (pairp pl) (not (eq (caar pl) k)))
+      (setq pl (cdr pl)))
+    (if (pairp pl) (cdar pl) nil)))
+
+(defun put (s k v)
+  (let ((pl (plist s)) (found nil))
+    (while (pairp pl)
+      (if (eq (caar pl) k)
+          (progn (rplacd (car pl) v) (setq found t) (setq pl nil))
+          (setq pl (cdr pl))))
+    (if found v
+        (progn (setplist s (cons (cons k v) (plist s))) v))))
+
+; --- arithmetic helpers ---------------------------------------------------------
+(defun abs (n) (if (lessp n 0) (minus n) n))
+(defun max2 (a b) (if (greaterp a b) a b))
+(defun min2 (a b) (if (lessp a b) a b))
+
+(defun expt (b n)
+  (let ((r 1))
+    (while (greaterp n 0)
+      (setq r (times r b))
+      (setq n (sub1 n)))
+    r))
+
+; --- funcall-able definitions of the common primitives ------------------------
+; Direct calls compile inline; these give every primitive a function cell so
+; (funcall 'car x) works, as in PSL where primitives are real functions.
+(defun car (x) (car x))
+(defun cdr (x) (cdr x))
+(defun cons (a b) (cons a b))
+(defun null (x) (null x))
+(defun atom (x) (atom x))
+(defun pairp (x) (pairp x))
+(defun add1 (n) (add1 n))
+(defun sub1 (n) (sub1 n))
+(defun plus (a b) (plus a b))
+(defun difference (a b) (difference a b))
+(defun times (a b) (times a b))
+(defun lessp (a b) (lessp a b))
+(defun greaterp (a b) (greaterp a b))
+(defun eq (a b) (eq a b))
+
+; --- printing ---------------------------------------------------------------------
+(defun terpri () (wrch 10))
+
+(defun prin1 (x)
+  (cond ((intp x) (wrint x))
+        ((idp x) (prin-name x))
+        ((pairp x) (wrch 40) (prin1 (car x)) (prin1-tail (cdr x)) (wrch 41))
+        ((vectorp x) (prin1-vector x))
+        ((floatp x) (wrch 35))
+        (t (wrch 63))))
+
+(defun prin1-tail (l)
+  (cond ((null l) nil)
+        ((pairp l) (wrch 32) (prin1 (car l)) (prin1-tail (cdr l)))
+        (t (wrch 32) (wrch 46) (wrch 32) (prin1 l))))
+
+(defun prin1-vector (v)
+  (wrch 91)
+  (let ((n (upbv v)) (i 0))
+    (while (lessp i n)
+      (if (greaterp i 0) (wrch 32) nil)
+      (prin1 (getv v i))
+      (setq i (add1 i))))
+  (wrch 93))
+
+(defun print (x) (prin1 x) (terpri) x)
+"#;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::front::lower_sources;
+
+    #[test]
+    fn prelude_lowers_cleanly() {
+        let unit = lower_sources(&[PRELUDE]).expect("prelude compiles");
+        assert!(unit.fns.len() >= 20);
+        assert!(unit.fns.iter().any(|f| f.name == "equal"));
+        assert!(unit.fns.iter().any(|f| f.name == "prin1"));
+    }
+}

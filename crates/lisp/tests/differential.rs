@@ -1,0 +1,317 @@
+//! Differential testing: randomly generated, type-correct-by-construction Lisp
+//! programs are evaluated by a Rust reference interpreter and must produce the
+//! same answer when compiled and simulated under every tag scheme and checking
+//! mode. A deliberately tiny heap keeps the copying collector in the loop.
+
+use proptest::prelude::*;
+
+use lisp::{compile, run, CheckingMode, Options};
+use tagword::{TagScheme, ALL_SCHEMES};
+
+/// Expressions typed by construction: `I` yields a fixnum, `L` a (possibly
+/// empty) list of fixnums, `B` a boolean (nil / non-nil).
+#[derive(Debug, Clone)]
+enum I {
+    Lit(i32),
+    Var(usize), // one of the three integer parameters
+    Add(Box<I>, Box<I>),
+    Sub(Box<I>, Box<I>),
+    Neg(Box<I>),
+    Add1(Box<I>),
+    Sub1(Box<I>),
+    Len(Box<L>),
+    If(Box<B>, Box<I>, Box<I>),
+    CarOr(Box<L>, Box<I>), // (if (pairp l) (car l) fallback)
+    Min(Box<I>, Box<I>),
+    Max(Box<I>, Box<I>),
+}
+
+#[derive(Debug, Clone)]
+enum L {
+    Nil,
+    Cons(Box<I>, Box<L>),
+    CdrOrNil(Box<L>), // (if (pairp l) (cdr l) nil)
+    Rev(Box<L>),
+    App(Box<L>, Box<L>),
+}
+
+#[derive(Debug, Clone)]
+enum B {
+    Less(Box<I>, Box<I>),
+    NumEq(Box<I>, Box<I>),
+    Null(Box<L>),
+    Pairp(Box<L>),
+    And(Box<B>, Box<B>),
+    Or(Box<B>, Box<B>),
+    Not(Box<B>),
+}
+
+// --- rendering to Lisp source ------------------------------------------------
+
+fn ri(e: &I, out: &mut String) {
+    match e {
+        I::Lit(v) => out.push_str(&v.to_string()),
+        I::Var(i) => out.push_str(["va", "vb", "vc"][*i]),
+        I::Add(a, b) => bin(out, "plus", |o| ri(a, o), |o| ri(b, o)),
+        I::Sub(a, b) => bin(out, "difference", |o| ri(a, o), |o| ri(b, o)),
+        I::Neg(a) => un(out, "minus", |o| ri(a, o)),
+        I::Add1(a) => un(out, "add1", |o| ri(a, o)),
+        I::Sub1(a) => un(out, "sub1", |o| ri(a, o)),
+        I::Len(l) => un(out, "length", |o| rl(l, o)),
+        I::If(c, t, f) => tern(out, |o| rb(c, o), |o| ri(t, o), |o| ri(f, o)),
+        I::CarOr(l, d) => {
+            out.push_str("(if (pairp ");
+            rl(l, out);
+            out.push_str(") (car ");
+            rl(l, out);
+            out.push_str(") ");
+            ri(d, out);
+            out.push(')');
+        }
+        I::Min(a, b) => bin(out, "min2", |o| ri(a, o), |o| ri(b, o)),
+        I::Max(a, b) => bin(out, "max2", |o| ri(a, o), |o| ri(b, o)),
+    }
+}
+
+fn rl(e: &L, out: &mut String) {
+    match e {
+        L::Nil => out.push_str("nil"),
+        L::Cons(h, t) => bin(out, "cons", |o| ri(h, o), |o| rl(t, o)),
+        L::CdrOrNil(l) => {
+            out.push_str("(if (pairp ");
+            rl(l, out);
+            out.push_str(") (cdr ");
+            rl(l, out);
+            out.push_str(") nil)");
+        }
+        L::Rev(l) => un(out, "reverse", |o| rl(l, o)),
+        L::App(a, b) => bin(out, "append", |o| rl(a, o), |o| rl(b, o)),
+    }
+}
+
+fn rb(e: &B, out: &mut String) {
+    match e {
+        B::Less(a, b) => bin(out, "lessp", |o| ri(a, o), |o| ri(b, o)),
+        B::NumEq(a, b) => bin(out, "eqn", |o| ri(a, o), |o| ri(b, o)),
+        B::Null(l) => un(out, "null", |o| rl(l, o)),
+        B::Pairp(l) => un(out, "pairp", |o| rl(l, o)),
+        B::And(a, b) => bin(out, "and", |o| rb(a, o), |o| rb(b, o)),
+        B::Or(a, b) => bin(out, "or", |o| rb(a, o), |o| rb(b, o)),
+        B::Not(a) => un(out, "not", |o| rb(a, o)),
+    }
+}
+
+fn un(out: &mut String, op: &str, a: impl FnOnce(&mut String)) {
+    out.push('(');
+    out.push_str(op);
+    out.push(' ');
+    a(out);
+    out.push(')');
+}
+
+fn bin(out: &mut String, op: &str, a: impl FnOnce(&mut String), b: impl FnOnce(&mut String)) {
+    out.push('(');
+    out.push_str(op);
+    out.push(' ');
+    a(out);
+    out.push(' ');
+    b(out);
+    out.push(')');
+}
+
+fn tern(
+    out: &mut String,
+    c: impl FnOnce(&mut String),
+    t: impl FnOnce(&mut String),
+    f: impl FnOnce(&mut String),
+) {
+    out.push_str("(if ");
+    c(out);
+    out.push(' ');
+    t(out);
+    out.push(' ');
+    f(out);
+    out.push(')');
+}
+
+// --- the reference interpreter ------------------------------------------------
+
+fn ei(e: &I, env: &[i64; 3]) -> i64 {
+    match e {
+        I::Lit(v) => i64::from(*v),
+        I::Var(i) => env[*i],
+        I::Add(a, b) => ei(a, env) + ei(b, env),
+        I::Sub(a, b) => ei(a, env) - ei(b, env),
+        I::Neg(a) => -ei(a, env),
+        I::Add1(a) => ei(a, env) + 1,
+        I::Sub1(a) => ei(a, env) - 1,
+        I::Len(l) => el(l, env).len() as i64,
+        I::If(c, t, f) => {
+            if eb(c, env) {
+                ei(t, env)
+            } else {
+                ei(f, env)
+            }
+        }
+        I::CarOr(l, d) => {
+            let v = el(l, env);
+            v.first().copied().unwrap_or_else(|| ei(d, env))
+        }
+        I::Min(a, b) => ei(a, env).min(ei(b, env)),
+        I::Max(a, b) => ei(a, env).max(ei(b, env)),
+    }
+}
+
+fn el(e: &L, env: &[i64; 3]) -> Vec<i64> {
+    match e {
+        L::Nil => vec![],
+        L::Cons(h, t) => {
+            let mut v = vec![ei(h, env)];
+            v.extend(el(t, env));
+            v
+        }
+        L::CdrOrNil(l) => {
+            let v = el(l, env);
+            if v.is_empty() {
+                v
+            } else {
+                v[1..].to_vec()
+            }
+        }
+        L::Rev(l) => {
+            let mut v = el(l, env);
+            v.reverse();
+            v
+        }
+        L::App(a, b) => {
+            let mut v = el(a, env);
+            v.extend(el(b, env));
+            v
+        }
+    }
+}
+
+fn eb(e: &B, env: &[i64; 3]) -> bool {
+    match e {
+        B::Less(a, b) => ei(a, env) < ei(b, env),
+        B::NumEq(a, b) => ei(a, env) == ei(b, env),
+        B::Null(l) => el(l, env).is_empty(),
+        B::Pairp(l) => !el(l, env).is_empty(),
+        B::And(a, b) => eb(a, env) && eb(b, env),
+        B::Or(a, b) => eb(a, env) || eb(b, env),
+        B::Not(a) => !eb(a, env),
+    }
+}
+
+// --- strategies ----------------------------------------------------------------
+
+fn int_expr() -> impl Strategy<Value = I> {
+    let leaf = prop_oneof![(-50i32..50).prop_map(I::Lit), (0usize..3).prop_map(I::Var)];
+    leaf.prop_recursive(5, 48, 3, |inner| {
+        let list = list_expr_with(inner.clone());
+        let boolean = bool_expr_with(inner.clone(), list.clone());
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| I::Add(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| I::Sub(Box::new(a), Box::new(b))),
+            inner.clone().prop_map(|a| I::Neg(Box::new(a))),
+            inner.clone().prop_map(|a| I::Add1(Box::new(a))),
+            inner.clone().prop_map(|a| I::Sub1(Box::new(a))),
+            list.clone().prop_map(|l| I::Len(Box::new(l))),
+            (boolean, inner.clone(), inner.clone()).prop_map(|(c, t, f)| I::If(
+                Box::new(c),
+                Box::new(t),
+                Box::new(f)
+            )),
+            (list, inner.clone()).prop_map(|(l, d)| I::CarOr(Box::new(l), Box::new(d))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| I::Min(Box::new(a), Box::new(b))),
+            (inner.clone(), inner).prop_map(|(a, b)| I::Max(Box::new(a), Box::new(b))),
+        ]
+    })
+}
+
+fn list_expr_with(ints: BoxedStrategy<I>) -> BoxedStrategy<L> {
+    let leaf = Just(L::Nil).boxed();
+    leaf.prop_recursive(4, 24, 3, move |inner| {
+        let ints = ints.clone();
+        prop_oneof![
+            (ints.clone(), inner.clone()).prop_map(|(h, t)| L::Cons(Box::new(h), Box::new(t))),
+            inner.clone().prop_map(|l| L::CdrOrNil(Box::new(l))),
+            inner.clone().prop_map(|l| L::Rev(Box::new(l))),
+            (inner.clone(), inner).prop_map(|(a, b)| L::App(Box::new(a), Box::new(b))),
+        ]
+        .boxed()
+    })
+    .boxed()
+}
+
+fn bool_expr_with(ints: BoxedStrategy<I>, lists: BoxedStrategy<L>) -> BoxedStrategy<B> {
+    let leaf = prop_oneof![
+        (ints.clone(), ints.clone()).prop_map(|(a, b)| B::Less(Box::new(a), Box::new(b))),
+        (ints, ints2()).prop_map(|(a, b)| B::NumEq(Box::new(a), Box::new(b))),
+        lists.clone().prop_map(|l| B::Null(Box::new(l))),
+        lists.prop_map(|l| B::Pairp(Box::new(l))),
+    ];
+    leaf.prop_recursive(3, 12, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| B::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| B::Or(Box::new(a), Box::new(b))),
+            inner.prop_map(|a| B::Not(Box::new(a))),
+        ]
+    })
+    .boxed()
+}
+
+fn ints2() -> BoxedStrategy<I> {
+    (-50i32..50).prop_map(I::Lit).boxed()
+}
+
+// --- the property ------------------------------------------------------------------
+
+fn run_case(expr: &I, args: [i32; 3], scheme: TagScheme, checking: CheckingMode) -> String {
+    let mut body = String::new();
+    ri(expr, &mut body);
+    let src = format!(
+        "(defun probe (va vb vc) {body})\n(print (probe {} {} {}))\n",
+        args[0], args[1], args[2]
+    );
+    let opts = Options {
+        heap_semi_bytes: 8 << 10, // tiny: keep the collector busy
+        ..Options::new(scheme, checking)
+    };
+    let compiled = compile(&src, &opts).unwrap_or_else(|e| panic!("compile failed: {e}\n{src}"));
+    let o = run(&compiled, 80_000_000).unwrap_or_else(|e| panic!("run failed: {e}\n{src}"));
+    assert_eq!(o.halt_code, 0, "error stop {} on\n{src}", o.halt_code);
+    o.output
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Reference semantics hold under every tag scheme with full checking, and
+    /// under the baseline scheme without checking.
+    #[test]
+    fn simulated_matches_reference(expr in int_expr(), a in -40i32..40, b in -40i32..40, c in -40i32..40) {
+        let env = [i64::from(a), i64::from(b), i64::from(c)];
+        let expected = format!("{}\n", ei(&expr, &env));
+        for scheme in ALL_SCHEMES {
+            let got = run_case(&expr, [a, b, c], scheme, CheckingMode::Full);
+            prop_assert_eq!(&got, &expected, "scheme {} (full checking)", scheme);
+        }
+        let got = run_case(&expr, [a, b, c], TagScheme::HighTag5, CheckingMode::None);
+        prop_assert_eq!(&got, &expected, "high5, no checking");
+        // §4.1 method 1 must agree too (it sees positive AND negative operands).
+        let opts = Options {
+            int_test_method: lisp::IntTestMethod::TagCompare,
+            heap_semi_bytes: 8 << 10,
+            ..Options::new(TagScheme::HighTag5, CheckingMode::Full)
+        };
+        let mut body = String::new();
+        ri(&expr, &mut body);
+        let src = format!(
+            "(defun probe (va vb vc) {body})\n(print (probe {a} {b} {c}))\n"
+        );
+        let compiled = compile(&src, &opts).expect("compiles (tagcmp)");
+        let o = run(&compiled, 80_000_000).expect("runs (tagcmp)");
+        prop_assert_eq!(&o.output, &expected, "high5, tag-compare int test");
+    }
+}

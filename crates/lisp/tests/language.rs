@@ -1,0 +1,288 @@
+//! Language-semantics battery: each case pins the behaviour of one construct,
+//! run under a mixed set of configurations (the full cross-product lives in the
+//! benchmark validation tests).
+
+use lisp::{compile, run, CheckingMode, Options};
+use tagword::TagScheme;
+
+fn eval(src: &str) -> String {
+    eval_with(src, Options::new(TagScheme::HighTag5, CheckingMode::Full))
+}
+
+fn eval_with(src: &str, opts: Options) -> String {
+    let c = compile(src, &opts).unwrap_or_else(|e| panic!("compile: {e}\n{src}"));
+    let o = run(&c, 50_000_000).unwrap_or_else(|e| panic!("run: {e}\n{src}"));
+    assert_eq!(o.halt_code, 0, "error stop {} for {src}", o.halt_code);
+    o.output
+}
+
+#[test]
+fn conditionals() {
+    assert_eq!(eval("(print (if nil 1 2))"), "2\n");
+    assert_eq!(eval("(print (if 0 1 2))"), "1\n", "0 is truthy in Lisp");
+    assert_eq!(eval("(print (if '() 1 2))"), "2\n", "() is nil");
+    assert_eq!(
+        eval("(print (if (atom nil) 'yes 'no))"),
+        "yes\n",
+        "nil is an atom"
+    );
+    assert_eq!(eval("(print (cond))"), "nil\n");
+    assert_eq!(
+        eval("(print (cond (nil 1) (7) (t 3)))"),
+        "7\n",
+        "test-only clause yields its value"
+    );
+    assert_eq!(eval("(print (when t 1 2 3))"), "3\n");
+    assert_eq!(eval("(print (unless t 1))"), "nil\n");
+}
+
+#[test]
+fn boolean_forms() {
+    assert_eq!(eval("(print (and))"), "t\n");
+    assert_eq!(eval("(print (or))"), "nil\n");
+    assert_eq!(
+        eval("(print (and 1 2 3))"),
+        "3\n",
+        "and yields the last value"
+    );
+    assert_eq!(
+        eval("(print (or nil 5 9))"),
+        "5\n",
+        "or yields the first truthy value"
+    );
+    assert_eq!(
+        eval("(defvar hit nil) (and nil (setq hit t)) (print hit)"),
+        "nil\n",
+        "and short-circuits"
+    );
+    assert_eq!(
+        eval("(defvar hit nil) (or 1 (setq hit t)) (print hit)"),
+        "nil\n",
+        "or short-circuits"
+    );
+}
+
+#[test]
+fn let_scoping_and_shadowing() {
+    assert_eq!(
+        eval("(defun f (x) (let ((x (plus x 1))) x)) (print (f 5))"),
+        "6\n"
+    );
+    assert_eq!(
+        eval("(defun f () (let ((a 1)) (let ((a 2) (b a)) (list a b)))) (print (f))"),
+        "(2 1)\n",
+        "inner binding list evaluates inits before binding"
+    );
+    assert_eq!(
+        eval("(defun f () (let (u v) (list u v))) (print (f))"),
+        "(nil nil)\n"
+    );
+}
+
+#[test]
+fn while_value_and_mutation() {
+    assert_eq!(
+        eval("(defun f (n) (let ((i 0)) (while (lessp i n) (setq i (add1 i))) i)) (print (f 7))"),
+        "7\n"
+    );
+    assert_eq!(eval("(defun f () (while nil 1)) (print (f))"), "nil\n");
+}
+
+#[test]
+fn deep_recursion_within_stack() {
+    assert_eq!(
+        eval("(defun count (n) (if (eq n 0) 0 (add1 (count (sub1 n))))) (print (count 2000))"),
+        "2000\n"
+    );
+}
+
+#[test]
+fn arithmetic_edges() {
+    assert_eq!(eval("(print (minus 0))"), "0\n");
+    assert_eq!(
+        eval("(print (quotient -7 2))"),
+        "-3\n",
+        "truncating division"
+    );
+    assert_eq!(eval("(print (remainder -7 2))"), "-1\n");
+    assert_eq!(eval("(print (times -3 -4))"), "12\n");
+    assert_eq!(eval("(print (lessp -5 -4))"), "t\n");
+    assert_eq!(eval("(print (eqn 3 3))"), "t\n");
+    assert_eq!(eval("(print (geq 3 3))"), "t\n");
+    // fixnum boundary values of the active scheme
+    let max = TagScheme::HighTag5.max_int();
+    assert_eq!(
+        eval(&format!("(print (plus {} 0))", max)),
+        format!("{max}\n")
+    );
+    let min = TagScheme::HighTag5.min_int();
+    assert_eq!(
+        eval(&format!("(print (sub1 (plus {} 1)))", min)),
+        format!("{min}\n")
+    );
+}
+
+#[test]
+fn list_primitives() {
+    assert_eq!(eval("(print (car '(a)))"), "a\n");
+    assert_eq!(eval("(print (cdr '(a)))"), "nil\n");
+    assert_eq!(eval("(print (rplaca (cons 1 2) 9))"), "(9 . 2)\n");
+    assert_eq!(eval("(print (rplacd (cons 1 2) 9))"), "(1 . 9)\n");
+    assert_eq!(eval("(print (cadddr '(1 2 3 4 5)))"), "4\n");
+    assert_eq!(eval("(print (nconc (list 1 2) (list 3)))"), "(1 2 3)\n");
+    assert_eq!(
+        eval("(print (copy-tree '((a) (b (c)))))"),
+        "((a) (b (c)))\n"
+    );
+    assert_eq!(
+        eval("(defvar x '(1 2)) (print (eq x (copy-list x))) (print (equal x (copy-list x)))"),
+        "nil\nt\n"
+    );
+}
+
+#[test]
+fn printing_shapes() {
+    assert_eq!(eval("(print '(1 (2 3) . 4))"), "(1 (2 3) . 4)\n");
+    assert_eq!(eval("(print ''a)"), "(quote a)\n");
+    assert_eq!(eval("(print -123)"), "-123\n");
+    assert_eq!(eval("(print t)"), "t\n");
+    assert_eq!(eval("(prin1 'no-newline)"), "no-newline");
+    assert_eq!(eval("(print (mkvect 0))"), "[]\n");
+    assert_eq!(eval("(print 3.5)"), "#\n", "floats print as a placeholder");
+}
+
+#[test]
+fn vectors_edges() {
+    assert_eq!(eval("(print (upbv (mkvect 0)))"), "0\n");
+    assert_eq!(
+        eval("(defvar v (mkvect 3)) (putv v 2 (putv v 0 'x)) (print v)"),
+        "[x nil x]\n",
+        "putv returns the stored value"
+    );
+    // vectors can hold vectors
+    assert_eq!(
+        eval("(defvar v (mkvect 2)) (putv v 0 (mkvect 1)) (print (upbv (getv v 0)))"),
+        "1\n"
+    );
+}
+
+#[test]
+fn funcall_and_function() {
+    assert_eq!(
+        eval("(defun sq (x) (times x x)) (print (funcall (function sq) 7))"),
+        "49\n"
+    );
+    assert_eq!(
+        eval(
+            "(defun pick (which) (if which 'add1 'sub1))\n(print (funcall (pick t) 5))\n(print (funcall (pick nil) 5))"
+        ),
+        "6\n4\n"
+    );
+    assert_eq!(
+        eval("(defun const () 42) (print (funcall 'const))"),
+        "42\n",
+        "zero-argument funcall"
+    );
+}
+
+#[test]
+fn type_predicates() {
+    let cases = [
+        ("(intp 3)", "t"),
+        ("(intp 'a)", "nil"),
+        ("(pairp '(1))", "t"),
+        ("(pairp nil)", "nil"),
+        ("(idp 'a)", "t"),
+        ("(idp 3)", "nil"),
+        ("(idp nil)", "t"),
+        ("(vectorp (mkvect 1))", "t"),
+        ("(vectorp '(1))", "nil"),
+        ("(floatp (float 1))", "t"),
+        ("(floatp 1)", "nil"),
+        ("(atom 'a)", "t"),
+        ("(atom '(a))", "nil"),
+        ("(null nil)", "t"),
+        ("(not 3)", "nil"),
+    ];
+    for scheme in tagword::ALL_SCHEMES {
+        for (expr, want) in cases {
+            let got = eval_with(
+                &format!("(print {expr})"),
+                Options::new(scheme, CheckingMode::Full),
+            );
+            assert_eq!(got, format!("{want}\n"), "{expr} under {scheme}");
+        }
+    }
+}
+
+#[test]
+fn property_list_shadowing_and_types() {
+    assert_eq!(
+        eval("(put 'k 'p 1) (put 'k 'q 2) (put 'k 'p 3) (print (list (get 'k 'p) (get 'k 'q)))"),
+        "(3 2)\n"
+    );
+    // keys can be any eq-comparable value, including fixnums
+    assert_eq!(eval("(put 'k 5 'five) (print (get 'k 5))"), "five\n");
+}
+
+#[test]
+fn global_vs_local_binding() {
+    assert_eq!(
+        eval("(defvar g 10) (defun f (g) (setq g (plus g 1)) g) (print (f 1)) (print g)"),
+        "2\n10\n",
+        "parameters shadow globals; setq hits the local"
+    );
+}
+
+#[test]
+fn argument_evaluation_order() {
+    assert_eq!(
+        eval(
+            "(defvar trace nil)\n(defun note (x) (setq trace (cons x trace)) x)\n\
+             (defun f (a b c) (list a b c))\n(print (f (note 1) (note 2) (note 3)))\n(print trace)"
+        ),
+        "(1 2 3)\n(3 2 1)\n",
+        "left-to-right evaluation"
+    );
+    // A later argument's side effect must not corrupt an earlier one.
+    assert_eq!(
+        eval("(defvar x 1) (defun two (a b) (list a b)) (print (two x (setq x 99)))"),
+        "(1 99)\n"
+    );
+}
+
+#[test]
+fn comparisons_as_plain_values() {
+    // boolean results flow through data structures
+    assert_eq!(
+        eval("(print (list (lessp 1 2) (greaterp 1 2)))"),
+        "(t nil)\n"
+    );
+    assert_eq!(eval("(print (cons (eq 'a 'a) (eq 'a 'b)))"), "(t)\n");
+}
+
+#[test]
+fn all_schemes_print_identically() {
+    let src = r#"
+        (defun dup (l) (if (pairp l) (cons (car l) (cons (car l) (dup (cdr l)))) nil))
+        (print (dup '(a 1 (b))))
+    "#;
+    for scheme in tagword::ALL_SCHEMES {
+        for checking in [CheckingMode::None, CheckingMode::Full] {
+            let got = eval_with(src, Options::new(scheme, checking));
+            assert_eq!(got, "(a a 1 1 (b) (b))\n", "{scheme}/{checking:?}");
+        }
+    }
+}
+
+#[test]
+fn runaway_recursion_stops_cleanly() {
+    let src = "(defun spin (n) (spin (add1 n))) (spin 0)";
+    let opts = Options {
+        stack_bytes: 16 << 10,
+        ..Options::new(TagScheme::HighTag5, CheckingMode::None)
+    };
+    let c = compile(src, &opts).unwrap();
+    let o = run(&c, 100_000_000).unwrap();
+    assert_eq!(o.halt_code, lisp::exit_code::ERR_STACK);
+}

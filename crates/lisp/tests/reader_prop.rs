@@ -1,0 +1,65 @@
+//! Property tests for the reader: print → parse round-trips, and the printer's
+//! output inside the simulator agrees with the host-side `Display`.
+
+use proptest::prelude::*;
+
+use lisp::{compile, parse_one, run, Options, Sexp};
+
+fn atom() -> impl Strategy<Value = Sexp> {
+    prop_oneof![
+        (-99999i32..99999).prop_map(Sexp::Int),
+        "[a-z][a-z0-9-]{0,6}".prop_map(Sexp::Sym),
+    ]
+}
+
+fn sexp() -> impl Strategy<Value = Sexp> {
+    atom().prop_recursive(4, 24, 4, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 1..4).prop_map(Sexp::list),
+            (prop::collection::vec(inner.clone(), 1..3), inner).prop_map(
+                |(items, tail)| match tail {
+                    // dotted tails that are lists normalise; use atoms only
+                    Sexp::List(..) => Sexp::list(items),
+                    t => Sexp::List(items, Some(Box::new(t))),
+                }
+            ),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// print → parse is the identity.
+    #[test]
+    fn display_parse_round_trip(s in sexp()) {
+        let text = s.to_string();
+        let back = parse_one(&text).expect("rendered sexp parses");
+        prop_assert_eq!(back, s);
+    }
+
+    /// The *simulated* printer (the Lisp prelude's prin1 running on the
+    /// simulated machine) agrees with the host-side renderer.
+    #[test]
+    fn simulated_printer_matches_display(s in sexp()) {
+        // keep fixnums in every scheme's range
+        fn ok(s: &Sexp) -> bool {
+            match s {
+                Sexp::Int(v) => *v >= -(1 << 25) && *v < (1 << 25),
+                // nil/t print fine but participate in quote/list normalisation;
+                // exclude them (and quote itself) so the comparison stays exact.
+                Sexp::Sym(n) => n != "nil" && n != "t" && n != "quote",
+                Sexp::List(items, tail) => {
+                    items.iter().all(ok) && tail.as_deref().map(ok).unwrap_or(true)
+                }
+                Sexp::Float(_) => false,
+            }
+        }
+        prop_assume!(ok(&s));
+        let text = s.to_string();
+        let src = format!("(print '{text})");
+        let c = compile(&src, &Options::default()).expect("compiles");
+        let o = run(&c, 10_000_000).expect("runs");
+        prop_assert_eq!(o.output, format!("{text}\n"));
+    }
+}

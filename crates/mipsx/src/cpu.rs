@@ -1,0 +1,1053 @@
+//! The instruction-level simulator.
+
+use std::fmt;
+
+use crate::annot::Annot;
+use crate::hw::{HwConfig, ParallelCheck};
+use crate::insn::{Insn, WriteKind};
+use crate::mem::Mem;
+use crate::program::Program;
+use crate::reg::Reg;
+use crate::stats::{InsnClass, Stats};
+
+/// Simulation failures. These indicate bugs in generated code (or an exhausted
+/// cycle budget), never ordinary program behaviour.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The cycle budget ran out before `halt`.
+    OutOfFuel {
+        /// Cycles executed when the budget expired.
+        cycles: u64,
+    },
+    /// A memory access fell outside the simulated memory.
+    MemFault {
+        /// Faulting effective byte address.
+        addr: u32,
+        /// Instruction index.
+        pc: usize,
+    },
+    /// The program counter left the code.
+    PcOutOfRange {
+        /// The bad instruction index.
+        pc: usize,
+    },
+    /// An instruction requiring absent hardware support was executed.
+    MissingHardware {
+        /// Instruction index.
+        pc: usize,
+        /// Which feature was missing.
+        feature: &'static str,
+    },
+    /// A control-transfer instruction appeared in a delay slot.
+    ControlInSlot {
+        /// Slot instruction index.
+        pc: usize,
+    },
+    /// The instruction after a load read the loaded register.
+    LoadDelayViolation {
+        /// Offending instruction index.
+        pc: usize,
+        /// The register read too early.
+        reg: Reg,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::OutOfFuel { cycles } => write!(f, "cycle budget exhausted after {cycles}"),
+            SimError::MemFault { addr, pc } => {
+                write!(f, "memory fault at address {addr:#x} (pc {pc})")
+            }
+            SimError::PcOutOfRange { pc } => write!(f, "pc {pc} outside code"),
+            SimError::MissingHardware { pc, feature } => {
+                write!(f, "instruction at pc {pc} needs absent hardware: {feature}")
+            }
+            SimError::ControlInSlot { pc } => {
+                write!(f, "control transfer in delay slot at pc {pc}")
+            }
+            SimError::LoadDelayViolation { pc, reg } => {
+                write!(
+                    f,
+                    "instruction at pc {pc} reads {reg} during its load delay"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// The result of a completed simulation.
+#[derive(Debug, Clone)]
+pub struct Outcome {
+    /// Exit code passed to `halt`.
+    pub halt_code: i32,
+    /// Everything the program wrote with [`Insn::Write`].
+    pub output: String,
+    /// Cycle and attribution statistics.
+    pub stats: Stats,
+}
+
+enum Flow {
+    Next,
+    Halt(i32),
+    Trap { target: usize },
+}
+
+/// The simulator: a register file, data memory, and the fetch-execute loop.
+#[derive(Debug)]
+pub struct Cpu<'p> {
+    prog: &'p Program,
+    hw: HwConfig,
+    regs: [u32; 32],
+    mem: Mem,
+    pc: usize,
+    stats: Stats,
+    output: String,
+    pending_load: Option<Reg>,
+}
+
+impl<'p> Cpu<'p> {
+    /// Build a CPU for `prog` with `hw` support and `mem_bytes` of data memory,
+    /// applying the program's initial data image.
+    pub fn new(prog: &'p Program, hw: HwConfig, mem_bytes: usize) -> Self {
+        let mut mem = Mem::new(mem_bytes);
+        for &(addr, word) in &prog.data {
+            assert!(
+                mem.store(addr, word),
+                "data image outside memory: {addr:#x}"
+            );
+        }
+        Cpu {
+            prog,
+            hw,
+            regs: [0; 32],
+            mem,
+            pc: prog.entry,
+            stats: Stats::default(),
+            output: String::new(),
+            pending_load: None,
+        }
+    }
+
+    /// Read a register (r0 reads zero).
+    pub fn reg(&self, r: Reg) -> u32 {
+        if r == Reg::Zero {
+            0
+        } else {
+            self.regs[r.index()]
+        }
+    }
+
+    /// Write a register (writes to r0 are discarded).
+    pub fn set_reg(&mut self, r: Reg, v: u32) {
+        if r != Reg::Zero {
+            self.regs[r.index()] = v;
+        }
+    }
+
+    /// The data memory (for post-run inspection in tests).
+    pub fn mem(&self) -> &Mem {
+        &self.mem
+    }
+
+    fn fetch(&self, pc: usize) -> Result<(Insn, Annot), SimError> {
+        match self.prog.insns.get(pc) {
+            Some(i) => Ok((*i, self.prog.annots.get(pc).copied().unwrap_or(Annot::NONE))),
+            None => Err(SimError::PcOutOfRange { pc }),
+        }
+    }
+
+    fn check_load_delay(&self, pc: usize, insn: Insn) -> Result<(), SimError> {
+        if let Some(r) = self.pending_load {
+            if insn.uses().contains(&r) {
+                return Err(SimError::LoadDelayViolation { pc, reg: r });
+            }
+        }
+        Ok(())
+    }
+
+    fn ea(&self, base: Reg, disp: i32) -> u32 {
+        (self.reg(base).wrapping_add(disp as u32)) & self.hw.address_mask()
+    }
+
+    /// Effective address for checked accesses: the hardware drops the tag-field
+    /// bits of the (tagged) base pointer during address calculation (paper §6.2.1:
+    /// "no tag removal would be required").
+    fn ea_untagged(&self, word: u32, field: crate::insn::TagField, disp: i32) -> u32 {
+        let untagged = word & !(field.mask << field.shift);
+        untagged.wrapping_add(disp as u32) & self.hw.address_mask()
+    }
+
+    fn load(&self, addr: u32, pc: usize) -> Result<u32, SimError> {
+        self.mem.load(addr).ok_or(SimError::MemFault { addr, pc })
+    }
+
+    fn store(&mut self, addr: u32, v: u32, pc: usize) -> Result<(), SimError> {
+        if self.mem.store(addr, v) {
+            Ok(())
+        } else {
+            Err(SimError::MemFault { addr, pc })
+        }
+    }
+
+    /// Execute one non-control instruction, recording its cycles.
+    fn exec_simple(&mut self, pc: usize, insn: Insn, annot: Annot) -> Result<Flow, SimError> {
+        debug_assert!(!insn.is_control());
+        self.check_load_delay(pc, insn)?;
+        let class = InsnClass::of(insn);
+        let mut next_pending = None;
+        let mut cycles = 1u64;
+        let flow = match insn {
+            Insn::Add(d, a, b) => {
+                let v = self.reg(a).wrapping_add(self.reg(b));
+                self.set_reg(d, v);
+                Flow::Next
+            }
+            Insn::Sub(d, a, b) => {
+                let v = self.reg(a).wrapping_sub(self.reg(b));
+                self.set_reg(d, v);
+                Flow::Next
+            }
+            Insn::And(d, a, b) => {
+                let v = self.reg(a) & self.reg(b);
+                self.set_reg(d, v);
+                Flow::Next
+            }
+            Insn::Or(d, a, b) => {
+                let v = self.reg(a) | self.reg(b);
+                self.set_reg(d, v);
+                Flow::Next
+            }
+            Insn::Xor(d, a, b) => {
+                let v = self.reg(a) ^ self.reg(b);
+                self.set_reg(d, v);
+                Flow::Next
+            }
+            Insn::Slt(d, a, b) => {
+                let v = ((self.reg(a) as i32) < (self.reg(b) as i32)) as u32;
+                self.set_reg(d, v);
+                Flow::Next
+            }
+            Insn::Addi(d, a, i) => {
+                let v = self.reg(a).wrapping_add(i as u32);
+                self.set_reg(d, v);
+                Flow::Next
+            }
+            Insn::Andi(d, a, i) => {
+                let v = self.reg(a) & i;
+                self.set_reg(d, v);
+                Flow::Next
+            }
+            Insn::Ori(d, a, i) => {
+                let v = self.reg(a) | i;
+                self.set_reg(d, v);
+                Flow::Next
+            }
+            Insn::Xori(d, a, i) => {
+                let v = self.reg(a) ^ i;
+                self.set_reg(d, v);
+                Flow::Next
+            }
+            Insn::Sll(d, a, s) => {
+                let v = self.reg(a) << (s & 31);
+                self.set_reg(d, v);
+                Flow::Next
+            }
+            Insn::Srl(d, a, s) => {
+                let v = self.reg(a) >> (s & 31);
+                self.set_reg(d, v);
+                Flow::Next
+            }
+            Insn::Sra(d, a, s) => {
+                let v = ((self.reg(a) as i32) >> (s & 31)) as u32;
+                self.set_reg(d, v);
+                Flow::Next
+            }
+            Insn::Li(d, i) => {
+                self.set_reg(d, i as u32);
+                Flow::Next
+            }
+            Insn::Mov(d, a) => {
+                let v = self.reg(a);
+                self.set_reg(d, v);
+                Flow::Next
+            }
+            Insn::Fop(op, d, a, b) => {
+                cycles = u64::from(self.hw.fp_cycles);
+                let v = op.apply(self.reg(a), self.reg(b));
+                self.set_reg(d, v);
+                Flow::Next
+            }
+            Insn::Mul(d, a, b) => {
+                cycles = u64::from(self.hw.mul_cycles);
+                let v = (self.reg(a) as i32).wrapping_mul(self.reg(b) as i32);
+                self.set_reg(d, v as u32);
+                Flow::Next
+            }
+            Insn::Div(d, a, b) => {
+                cycles = u64::from(self.hw.div_cycles);
+                let bb = self.reg(b) as i32;
+                let v = if bb == 0 {
+                    0
+                } else {
+                    (self.reg(a) as i32).wrapping_div(bb)
+                };
+                self.set_reg(d, v as u32);
+                Flow::Next
+            }
+            Insn::Rem(d, a, b) => {
+                cycles = u64::from(self.hw.div_cycles);
+                let bb = self.reg(b) as i32;
+                let v = if bb == 0 {
+                    0
+                } else {
+                    (self.reg(a) as i32).wrapping_rem(bb)
+                };
+                self.set_reg(d, v as u32);
+                Flow::Next
+            }
+            Insn::Ld(d, base, disp) => {
+                let addr = self.ea(base, disp);
+                let v = self.load(addr, pc)?;
+                self.set_reg(d, v);
+                next_pending = Some(d);
+                Flow::Next
+            }
+            Insn::St { src, base, disp } => {
+                let addr = self.ea(base, disp);
+                let v = self.reg(src);
+                self.store(addr, v, pc)?;
+                Flow::Next
+            }
+            Insn::LdChk {
+                rd,
+                base,
+                disp,
+                field,
+                expect,
+                on_fail,
+            } => {
+                if self.hw.parallel_check == ParallelCheck::None {
+                    return Err(SimError::MissingHardware {
+                        pc,
+                        feature: "parallel tag check",
+                    });
+                }
+                let word = self.reg(base);
+                if field.extract(word) != expect {
+                    self.stats
+                        .record_trap(annot, u64::from(self.hw.trap_penalty));
+                    self.pending_load = None;
+                    return Ok(Flow::Trap {
+                        target: on_fail as usize,
+                    });
+                }
+                let addr = self.ea_untagged(word, field, disp);
+                let v = self.load(addr, pc)?;
+                self.set_reg(rd, v);
+                next_pending = Some(rd);
+                Flow::Next
+            }
+            Insn::StChk {
+                src,
+                base,
+                disp,
+                field,
+                expect,
+                on_fail,
+            } => {
+                if self.hw.parallel_check == ParallelCheck::None {
+                    return Err(SimError::MissingHardware {
+                        pc,
+                        feature: "parallel tag check",
+                    });
+                }
+                let word = self.reg(base);
+                if field.extract(word) != expect {
+                    self.stats
+                        .record_trap(annot, u64::from(self.hw.trap_penalty));
+                    self.pending_load = None;
+                    return Ok(Flow::Trap {
+                        target: on_fail as usize,
+                    });
+                }
+                let addr = self.ea_untagged(word, field, disp);
+                let v = self.reg(src);
+                self.store(addr, v, pc)?;
+                Flow::Next
+            }
+            Insn::AddG {
+                rd,
+                rs,
+                rt,
+                int_test,
+                on_fail,
+            }
+            | Insn::SubG {
+                rd,
+                rs,
+                rt,
+                int_test,
+                on_fail,
+            } => {
+                if !self.hw.generic_arith {
+                    return Err(SimError::MissingHardware {
+                        pc,
+                        feature: "generic arithmetic",
+                    });
+                }
+                let a = self.reg(rs);
+                let b = self.reg(rt);
+                let sub = matches!(insn, Insn::SubG { .. });
+                let result = if sub {
+                    (a as i32).checked_sub(b as i32)
+                } else {
+                    (a as i32).checked_add(b as i32)
+                };
+                let ok = int_test.is_int(a)
+                    && int_test.is_int(b)
+                    && result.map(|r| int_test.is_int(r as u32)).unwrap_or(false);
+                if !ok {
+                    // The trap is generic-arithmetic dispatch work regardless of
+                    // how the instruction's fast path is annotated.
+                    let trap_annot = Annot {
+                        tag_op: Some(crate::annot::TagOpKind::Generic),
+                        cat: crate::annot::CheckCat::Arith,
+                        prov: crate::annot::Provenance::Checking,
+                    };
+                    let _ = annot;
+                    self.stats
+                        .record_trap(trap_annot, u64::from(self.hw.trap_penalty));
+                    self.pending_load = None;
+                    return Ok(Flow::Trap {
+                        target: on_fail as usize,
+                    });
+                }
+                self.set_reg(rd, result.expect("checked above") as u32);
+                Flow::Next
+            }
+            Insn::Nop => Flow::Next,
+            Insn::Write(r, kind) => {
+                let v = self.reg(r);
+                match kind {
+                    WriteKind::Char => self.output.push((v & 0xFF) as u8 as char),
+                    WriteKind::Int => {
+                        use std::fmt::Write as _;
+                        let _ = write!(self.output, "{}", v as i32);
+                    }
+                }
+                Flow::Next
+            }
+            Insn::Halt(r) => Flow::Halt(self.reg(r) as i32),
+            Insn::Br { .. }
+            | Insn::Bri { .. }
+            | Insn::TagBr { .. }
+            | Insn::J(_)
+            | Insn::Jal(..)
+            | Insn::Jr(_)
+            | Insn::Jalr(..) => unreachable!("control handled by the main loop"),
+        };
+        self.stats.record(class, annot, cycles);
+        self.pending_load = next_pending;
+        Ok(flow)
+    }
+
+    /// Execute one delay-slot instruction (must not be a control transfer).
+    fn exec_slot(&mut self, pc: usize) -> Result<Flow, SimError> {
+        let (insn, annot) = self.fetch(pc)?;
+        if insn.is_control() {
+            return Err(SimError::ControlInSlot { pc });
+        }
+        self.exec_simple(pc, insn, annot)
+    }
+
+    /// Run until `halt`, a simulation error, or the cycle budget is exhausted.
+    ///
+    /// # Errors
+    ///
+    /// Any [`SimError`]; see its variants. A normal `halt` is not an error.
+    pub fn run(&mut self, max_cycles: u64) -> Result<Outcome, SimError> {
+        loop {
+            if self.stats.cycles >= max_cycles {
+                return Err(SimError::OutOfFuel {
+                    cycles: self.stats.cycles,
+                });
+            }
+            let pc = self.pc;
+            let (insn, annot) = self.fetch(pc)?;
+            if !insn.is_control() {
+                match self.exec_simple(pc, insn, annot)? {
+                    Flow::Next => self.pc = pc + 1,
+                    Flow::Halt(code) => {
+                        return Ok(Outcome {
+                            halt_code: code,
+                            output: std::mem::take(&mut self.output),
+                            stats: self.stats.clone(),
+                        })
+                    }
+                    Flow::Trap { target } => self.pc = target,
+                }
+                continue;
+            }
+
+            // Control transfer. Charge the branch/jump cycle itself.
+            self.check_load_delay(pc, insn)?;
+            self.stats.record(InsnClass::of(insn), annot, 1);
+            self.pending_load = None;
+
+            let (taken, target, squash, slots, link): (bool, usize, bool, usize, Option<Reg>) =
+                match insn {
+                    Insn::Br {
+                        cond,
+                        rs,
+                        rt,
+                        target,
+                        squash,
+                    } => {
+                        let t = cond.eval(self.reg(rs), self.reg(rt));
+                        (t, target as usize, squash, 2, None)
+                    }
+                    Insn::Bri {
+                        cond,
+                        rs,
+                        imm,
+                        target,
+                        squash,
+                    } => {
+                        let t = cond.eval(self.reg(rs), imm as u32);
+                        (t, target as usize, squash, 2, None)
+                    }
+                    Insn::TagBr {
+                        rs,
+                        field,
+                        value,
+                        neq,
+                        target,
+                        squash,
+                    } => {
+                        if !self.hw.tag_branch {
+                            return Err(SimError::MissingHardware {
+                                pc,
+                                feature: "tag branch",
+                            });
+                        }
+                        let eq = field.extract(self.reg(rs)) == value;
+                        let t = if neq { !eq } else { eq };
+                        (t, target as usize, squash, 2, None)
+                    }
+                    Insn::J(t) => (true, t as usize, false, 1, None),
+                    Insn::Jal(t, link) => (true, t as usize, false, 1, Some(link)),
+                    Insn::Jr(r) => (true, self.reg(r) as usize, false, 1, None),
+                    Insn::Jalr(r, link) => (true, self.reg(r) as usize, false, 1, Some(link)),
+                    _ => unreachable!(),
+                };
+
+            if let Some(link) = link {
+                self.set_reg(link, (pc + 1 + slots) as u32);
+            }
+
+            let mut halted = None;
+            for s in 1..=slots {
+                let spc = pc + s;
+                if taken || !squash {
+                    match self.exec_slot(spc)? {
+                        Flow::Next => {}
+                        Flow::Halt(code) => {
+                            halted = Some(code);
+                            break;
+                        }
+                        Flow::Trap { .. } => {
+                            // Checked instructions are never placed in delay slots
+                            // by the code generator (verify.rs enforces it).
+                            return Err(SimError::ControlInSlot { pc: spc });
+                        }
+                    }
+                } else {
+                    // Squashed: cycle wasted, attributed to the branch.
+                    self.stats.record_squashed(annot);
+                    self.pending_load = None;
+                }
+            }
+            if let Some(code) = halted {
+                return Ok(Outcome {
+                    halt_code: code,
+                    output: std::mem::take(&mut self.output),
+                    stats: self.stats.clone(),
+                });
+            }
+
+            self.pc = if taken { target } else { pc + 1 + slots };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::Asm;
+    use crate::insn::{Cond, IntTest, TagField};
+
+    fn run(asm: Asm, hw: HwConfig) -> Outcome {
+        let prog = asm.finish().expect("assembles");
+        Cpu::new(&prog, hw, 1 << 16).run(1_000_000).expect("runs")
+    }
+
+    fn entry(asm: &mut Asm) {
+        let e = asm.here("entry");
+        asm.set_entry(e);
+    }
+
+    #[test]
+    fn arithmetic_and_halt() {
+        let mut asm = Asm::new();
+        entry(&mut asm);
+        asm.li(Reg::A0, 40);
+        asm.li(Reg::A1, 2);
+        asm.emit(Insn::Add(Reg::A0, Reg::A0, Reg::A1));
+        asm.halt(Reg::A0);
+        let o = run(asm, HwConfig::plain());
+        assert_eq!(o.halt_code, 42);
+        assert_eq!(o.stats.cycles, 4);
+    }
+
+    #[test]
+    fn r0_is_hardwired_zero() {
+        let mut asm = Asm::new();
+        entry(&mut asm);
+        asm.li(Reg::Zero, 7);
+        asm.emit(Insn::Add(Reg::A0, Reg::Zero, Reg::Zero));
+        asm.halt(Reg::A0);
+        assert_eq!(run(asm, HwConfig::plain()).halt_code, 0);
+    }
+
+    #[test]
+    fn taken_branch_executes_slots_and_jumps() {
+        let mut asm = Asm::new();
+        entry(&mut asm);
+        let target = asm.new_label();
+        asm.li(Reg::A0, 1);
+        asm.beq(Reg::A0, Reg::A0, target); // always taken; 2 nop slots
+        asm.li(Reg::A0, 99); // skipped
+        asm.bind(target);
+        asm.halt(Reg::A0);
+        let o = run(asm, HwConfig::plain());
+        assert_eq!(o.halt_code, 1);
+        // li + br + 2 slots + halt
+        assert_eq!(o.stats.cycles, 5);
+    }
+
+    #[test]
+    fn squashing_branch_cancels_slots_when_not_taken() {
+        let mut asm = Asm::new();
+        entry(&mut asm);
+        let target = asm.new_label();
+        asm.li(Reg::A0, 1);
+        asm.br_raw(Cond::Eq, Reg::A0, Reg::Zero, target, true); // not taken, squash
+        asm.li(Reg::A0, 50); // slot 1: squashed
+        asm.li(Reg::A0, 60); // slot 2: squashed
+        asm.halt(Reg::A0);
+        asm.bind(target);
+        asm.halt(Reg::Zero);
+        let o = run(asm, HwConfig::plain());
+        assert_eq!(o.halt_code, 1, "squashed writes must not commit");
+        assert_eq!(o.stats.squashed, 2);
+    }
+
+    #[test]
+    fn non_squashing_branch_commits_slots_when_not_taken() {
+        let mut asm = Asm::new();
+        entry(&mut asm);
+        let target = asm.new_label();
+        asm.li(Reg::A0, 1);
+        asm.br_raw(Cond::Eq, Reg::A0, Reg::Zero, target, false); // not taken
+        asm.li(Reg::A1, 50); // slot 1: commits
+        asm.nop(); // slot 2
+        asm.halt(Reg::A1);
+        asm.bind(target);
+        asm.halt(Reg::Zero);
+        let o = run(asm, HwConfig::plain());
+        assert_eq!(o.halt_code, 50);
+        assert_eq!(o.stats.squashed, 0);
+    }
+
+    #[test]
+    fn call_and_return() {
+        let mut asm = Asm::new();
+        entry(&mut asm);
+        let f = asm.new_label();
+        asm.jal(f, Reg::Link);
+        asm.halt(Reg::A0);
+        asm.bind(f);
+        asm.li(Reg::A0, 7);
+        asm.jr(Reg::Link);
+        let o = run(asm, HwConfig::plain());
+        assert_eq!(o.halt_code, 7);
+    }
+
+    #[test]
+    fn loads_and_stores_round_trip() {
+        let mut asm = Asm::new();
+        entry(&mut asm);
+        asm.li(Reg::T0, 0x100);
+        asm.li(Reg::T1, 1234);
+        asm.st(Reg::T1, Reg::T0, 8);
+        asm.ld(Reg::A0, Reg::T0, 8);
+        asm.nop(); // load delay
+        asm.halt(Reg::A0);
+        assert_eq!(run(asm, HwConfig::plain()).halt_code, 1234);
+    }
+
+    #[test]
+    fn load_delay_violation_detected() {
+        let mut asm = Asm::new();
+        entry(&mut asm);
+        asm.li(Reg::T0, 0x100);
+        asm.ld(Reg::A0, Reg::T0, 0);
+        asm.emit(Insn::Add(Reg::A1, Reg::A0, Reg::Zero)); // reads A0 too early
+        asm.halt(Reg::A1);
+        let prog = asm.finish().unwrap();
+        let err = Cpu::new(&prog, HwConfig::plain(), 1 << 16)
+            .run(1000)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            SimError::LoadDelayViolation { reg: Reg::A0, .. }
+        ));
+    }
+
+    #[test]
+    fn address_drop_masks_high_bits() {
+        let mut asm = Asm::new();
+        entry(&mut asm);
+        // Address with a 5-bit "tag" in the top bits.
+        asm.li(Reg::T0, (0b01011u32 << 27) as i32 | 0x40);
+        asm.li(Reg::T1, 77);
+        asm.st(Reg::T1, Reg::T0, 0);
+        asm.ld(Reg::A0, Reg::T0, 0);
+        asm.nop();
+        asm.halt(Reg::A0);
+        let o = run(asm, HwConfig::with_address_drop(5));
+        assert_eq!(o.halt_code, 77);
+    }
+
+    #[test]
+    fn tagged_address_without_drop_faults() {
+        let mut asm = Asm::new();
+        entry(&mut asm);
+        asm.li(Reg::T0, (0b01011u32 << 27) as i32 | 0x40);
+        asm.st(Reg::T0, Reg::T0, 0);
+        asm.halt(Reg::Zero);
+        let prog = asm.finish().unwrap();
+        let err = Cpu::new(&prog, HwConfig::plain(), 1 << 16)
+            .run(1000)
+            .unwrap_err();
+        assert!(matches!(err, SimError::MemFault { .. }));
+    }
+
+    #[test]
+    fn tag_branch_requires_hardware() {
+        let mut asm = Asm::new();
+        entry(&mut asm);
+        let t = asm.new_label();
+        asm.emit(Insn::TagBr {
+            rs: Reg::A0,
+            field: TagField {
+                shift: 27,
+                mask: 0x1F,
+            },
+            value: 0,
+            neq: false,
+            target: t.0,
+            squash: false,
+        });
+        asm.nop();
+        asm.nop();
+        asm.bind(t);
+        asm.halt(Reg::Zero);
+        let prog = asm.finish().unwrap();
+        let err = Cpu::new(&prog, HwConfig::plain(), 1 << 16)
+            .run(1000)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            SimError::MissingHardware {
+                feature: "tag branch",
+                ..
+            }
+        ));
+        let ok = Cpu::new(&prog, HwConfig::with_tag_branch(), 1 << 16)
+            .run(1000)
+            .unwrap();
+        assert_eq!(ok.halt_code, 0);
+    }
+
+    #[test]
+    fn tag_branch_compares_field() {
+        let mut asm = Asm::new();
+        entry(&mut asm);
+        let is_pair = asm.new_label();
+        // tag 1 (pair) in top 5 bits
+        asm.li(Reg::A0, (1u32 << 27) as i32 | 0x123);
+        asm.emit(Insn::TagBr {
+            rs: Reg::A0,
+            field: TagField {
+                shift: 27,
+                mask: 0x1F,
+            },
+            value: 1,
+            neq: false,
+            target: is_pair.0,
+            squash: false,
+        });
+        asm.nop();
+        asm.nop();
+        asm.halt(Reg::Zero); // not reached
+        asm.bind(is_pair);
+        asm.li(Reg::A1, 1);
+        asm.halt(Reg::A1);
+        let o = run(asm, HwConfig::with_tag_branch());
+        assert_eq!(o.halt_code, 1);
+    }
+
+    #[test]
+    fn checked_load_passes_and_traps() {
+        let field = TagField {
+            shift: 27,
+            mask: 0x1F,
+        };
+        let mk = |tag: u32| -> i32 { ((tag << 27) | 0x80) as i32 };
+        let build = |tag: u32| {
+            let mut asm = Asm::new();
+            entry(&mut asm);
+            let fail = asm.new_label();
+            asm.li(Reg::T0, mk(tag));
+            asm.li(Reg::T1, 55);
+            asm.st(Reg::T1, Reg::T0, 0); // plain store faults on tagged addr...
+            asm.emit(Insn::LdChk {
+                rd: Reg::A0,
+                base: Reg::T0,
+                disp: 0,
+                field,
+                expect: 1,
+                on_fail: fail.0,
+            });
+            asm.nop();
+            asm.halt(Reg::A0);
+            asm.bind(fail);
+            asm.li(Reg::A0, -1);
+            asm.halt(Reg::A0);
+            asm.finish().unwrap()
+        };
+        // Use address-drop hardware so the plain store works through a tagged ptr.
+        let hw = HwConfig {
+            parallel_check: ParallelCheck::All,
+            drop_high_address_bits: 5,
+            ..HwConfig::plain()
+        };
+        let prog = build(1);
+        let o = Cpu::new(&prog, hw, 1 << 16).run(1000).unwrap();
+        assert_eq!(o.halt_code, 55, "matching tag loads normally");
+        assert_eq!(o.stats.traps, 0);
+        let prog = build(3);
+        let o = Cpu::new(&prog, hw, 1 << 16).run(1000).unwrap();
+        assert_eq!(o.halt_code, -1, "mismatch traps to on_fail");
+        assert_eq!(o.stats.traps, 1);
+        assert_eq!(o.stats.trap_cycles, u64::from(hw.trap_penalty));
+    }
+
+    #[test]
+    fn generic_add_fast_path_and_trap() {
+        let test = IntTest::SignExt(27);
+        let build = |a: i32, b: i32| {
+            let mut asm = Asm::new();
+            entry(&mut asm);
+            let fail = asm.new_label();
+            asm.li(Reg::A0, a);
+            asm.li(Reg::A1, b);
+            asm.emit(Insn::AddG {
+                rd: Reg::A2,
+                rs: Reg::A0,
+                rt: Reg::A1,
+                int_test: test,
+                on_fail: fail.0,
+            });
+            asm.halt(Reg::A2);
+            asm.bind(fail);
+            asm.li(Reg::A2, -999);
+            asm.halt(Reg::A2);
+            asm.finish().unwrap()
+        };
+        let hw = HwConfig::with_generic_arith();
+        let prog = build(20, 22);
+        assert_eq!(
+            Cpu::new(&prog, hw, 1 << 16).run(1000).unwrap().halt_code,
+            42
+        );
+        // Overflow of the 27-bit fixnum range traps.
+        let prog = build((1 << 26) - 1, 1);
+        assert_eq!(
+            Cpu::new(&prog, hw, 1 << 16).run(1000).unwrap().halt_code,
+            -999
+        );
+        // Non-integer operand traps.
+        let prog = build((3u32 << 27) as i32, 1);
+        assert_eq!(
+            Cpu::new(&prog, hw, 1 << 16).run(1000).unwrap().halt_code,
+            -999
+        );
+    }
+
+    #[test]
+    fn write_output() {
+        let mut asm = Asm::new();
+        entry(&mut asm);
+        asm.li(Reg::A0, 'h' as i32);
+        asm.write(Reg::A0, WriteKind::Char);
+        asm.li(Reg::A0, -42);
+        asm.write(Reg::A0, WriteKind::Int);
+        asm.halt(Reg::Zero);
+        let o = run(asm, HwConfig::plain());
+        assert_eq!(o.output, "h-42");
+    }
+
+    #[test]
+    fn out_of_fuel() {
+        let mut asm = Asm::new();
+        entry(&mut asm);
+        let l = asm.here("loop");
+        asm.j(l);
+        let prog = asm.finish().unwrap();
+        let err = Cpu::new(&prog, HwConfig::plain(), 1 << 16)
+            .run(100)
+            .unwrap_err();
+        assert!(matches!(err, SimError::OutOfFuel { .. }));
+    }
+
+    #[test]
+    fn mul_div_cost_and_semantics() {
+        let mut asm = Asm::new();
+        entry(&mut asm);
+        asm.li(Reg::A0, -6);
+        asm.li(Reg::A1, 7);
+        asm.emit(Insn::Mul(Reg::A2, Reg::A0, Reg::A1));
+        asm.halt(Reg::A2);
+        let o = run(asm, HwConfig::plain());
+        assert_eq!(o.halt_code, -42);
+        assert_eq!(
+            o.stats.cycles,
+            2 + u64::from(HwConfig::plain().mul_cycles) + 1
+        );
+        // division by zero yields 0 (runtime checks divisors itself)
+        let mut asm = Asm::new();
+        entry(&mut asm);
+        asm.li(Reg::A0, 5);
+        asm.emit(Insn::Div(Reg::A2, Reg::A0, Reg::Zero));
+        asm.halt(Reg::A2);
+        assert_eq!(run(asm, HwConfig::plain()).halt_code, 0);
+    }
+
+    #[test]
+    fn control_in_slot_is_an_error() {
+        let mut asm = Asm::new();
+        entry(&mut asm);
+        let t = asm.new_label();
+        asm.br_raw(Cond::Eq, Reg::Zero, Reg::Zero, t, false);
+        asm.emit(Insn::J(t.0)); // illegal: control in slot
+        asm.nop();
+        asm.bind(t);
+        asm.halt(Reg::Zero);
+        let prog = asm.finish().unwrap();
+        let err = Cpu::new(&prog, HwConfig::plain(), 1 << 16)
+            .run(1000)
+            .unwrap_err();
+        assert!(matches!(err, SimError::ControlInSlot { .. }));
+    }
+
+    #[test]
+    fn bri_compares_against_immediate() {
+        let mut asm = Asm::new();
+        entry(&mut asm);
+        let hit = asm.new_label();
+        asm.li(Reg::A0, -3);
+        asm.bri(Cond::Lt, Reg::A0, 0, hit); // signed comparison with immediate
+        asm.halt(Reg::Zero);
+        asm.bind(hit);
+        asm.li(Reg::A1, 1);
+        asm.halt(Reg::A1);
+        assert_eq!(run(asm, HwConfig::plain()).halt_code, 1);
+    }
+
+    #[test]
+    fn fop_semantics_and_cost() {
+        use crate::insn::FpOp;
+        let hw = HwConfig::plain();
+        let mut asm = Asm::new();
+        entry(&mut asm);
+        asm.li(Reg::A0, 2.5f32.to_bits() as i32);
+        asm.li(Reg::A1, 0.5f32.to_bits() as i32);
+        asm.emit(Insn::Fop(FpOp::Mul, Reg::A2, Reg::A0, Reg::A1));
+        asm.emit(Insn::Fop(FpOp::Lt, Reg::A3, Reg::A1, Reg::A2));
+        asm.halt(Reg::A3);
+        let o = run(asm, hw);
+        assert_eq!(o.halt_code, 1, "0.5 < 1.25");
+        assert_eq!(o.stats.cycles, 2 + 2 * u64::from(hw.fp_cycles) + 1);
+        // integer conversion
+        let mut asm = Asm::new();
+        entry(&mut asm);
+        asm.li(Reg::A0, -7);
+        asm.emit(Insn::Fop(FpOp::FromInt, Reg::A1, Reg::A0, Reg::Zero));
+        asm.halt(Reg::A1);
+        let o = run(asm, hw);
+        assert_eq!(f32::from_bits(o.halt_code as u32), -7.0);
+    }
+
+    #[test]
+    fn checked_store_traps_on_mismatch() {
+        use crate::insn::TagField;
+        let field = TagField {
+            shift: 27,
+            mask: 0x1F,
+        };
+        let hw = HwConfig {
+            parallel_check: ParallelCheck::All,
+            ..HwConfig::plain()
+        };
+        let mut asm = Asm::new();
+        entry(&mut asm);
+        let fail = asm.new_label();
+        asm.li(Reg::T0, ((3u32 << 27) | 0x80) as i32); // wrong tag
+        asm.li(Reg::T1, 9);
+        asm.emit(Insn::StChk {
+            src: Reg::T1,
+            base: Reg::T0,
+            disp: 0,
+            field,
+            expect: 1,
+            on_fail: fail.0,
+        });
+        asm.halt(Reg::Zero);
+        asm.bind(fail);
+        asm.li(Reg::A0, -7);
+        asm.halt(Reg::A0);
+        let prog = asm.finish().unwrap();
+        let o = Cpu::new(&prog, hw, 1 << 16).run(1000).unwrap();
+        assert_eq!(o.halt_code, -7);
+        assert_eq!(o.stats.traps, 1);
+    }
+
+    #[test]
+    fn jal_links_past_slot() {
+        let mut asm = Asm::new();
+        entry(&mut asm);
+        let f = asm.new_label();
+        asm.jal(f, Reg::Link); // emits jal + 1 slot nop
+        asm.li(Reg::A1, 5); // return lands here
+        asm.halt(Reg::A1);
+        asm.bind(f);
+        asm.jr(Reg::Link);
+        let o = run(asm, HwConfig::plain());
+        assert_eq!(o.halt_code, 5);
+    }
+}

@@ -1,0 +1,159 @@
+//! Hardware-support configuration (the rows of the paper's Table 2).
+
+/// Which memory accesses get parallel tag checking (paper §6.2.1, Table 2 rows 5–6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ParallelCheck {
+    /// No checked loads/stores.
+    #[default]
+    None,
+    /// Checked accesses for list cells only (row 5; also the SPUR configuration).
+    Lists,
+    /// Checked accesses for all data types — lists, vectors, structures (row 6).
+    All,
+}
+
+/// The tag-handling hardware present in the simulated processor.
+///
+/// [`HwConfig::plain`] is a stock RISC (the paper's baseline). The other
+/// constructors correspond to Table 2's rows; arbitrary combinations can be built
+/// with struct update syntax.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct HwConfig {
+    /// Number of *high* address bits the memory system ignores (row 1's hardware
+    /// variant: "special hardware that would blank out the 5 most significant bits
+    /// of each address"). 0 disables.
+    pub drop_high_address_bits: u32,
+    /// Whether the [`crate::Insn::TagBr`] conditional branch exists (row 2).
+    pub tag_branch: bool,
+    /// Parallel tag checking on memory accesses (rows 5–6).
+    pub parallel_check: ParallelCheck,
+    /// Whether [`crate::Insn::AddG`]/[`crate::Insn::SubG`] exist (row 4).
+    pub generic_arith: bool,
+    /// Cycles charged when a checked instruction traps to its software path.
+    pub trap_penalty: u32,
+    /// Cycles for a multiply (MIPS-X used multiply-step sequences; we charge a
+    /// fixed cost).
+    pub mul_cycles: u32,
+    /// Cycles for a divide or remainder.
+    pub div_cycles: u32,
+    /// Cycles for a floating-point operation.
+    pub fp_cycles: u32,
+}
+
+impl HwConfig {
+    /// A stock RISC with no tag support — the paper's baseline processor.
+    pub fn plain() -> Self {
+        HwConfig {
+            drop_high_address_bits: 0,
+            tag_branch: false,
+            parallel_check: ParallelCheck::None,
+            generic_arith: false,
+            trap_penalty: 20,
+            mul_cycles: 8,
+            div_cycles: 16,
+            fp_cycles: 4,
+        }
+    }
+
+    /// Row 1 (hardware flavour): loads/stores ignore the top `bits` address bits.
+    pub fn with_address_drop(bits: u32) -> Self {
+        HwConfig {
+            drop_high_address_bits: bits,
+            ..Self::plain()
+        }
+    }
+
+    /// Row 2: the tag-field conditional branch.
+    pub fn with_tag_branch() -> Self {
+        HwConfig {
+            tag_branch: true,
+            ..Self::plain()
+        }
+    }
+
+    /// Row 4: trap-based generic arithmetic.
+    pub fn with_generic_arith() -> Self {
+        HwConfig {
+            generic_arith: true,
+            ..Self::plain()
+        }
+    }
+
+    /// Rows 5/6: parallel checked memory access.
+    pub fn with_parallel_check(which: ParallelCheck) -> Self {
+        HwConfig {
+            parallel_check: which,
+            ..Self::plain()
+        }
+    }
+
+    /// Row 7: the maximum support addable to MIPS-X without reorganising it —
+    /// address dropping, tag branch, generic arithmetic, and checked accesses for
+    /// all types.
+    pub fn maximal(drop_bits: u32) -> Self {
+        HwConfig {
+            drop_high_address_bits: drop_bits,
+            tag_branch: true,
+            parallel_check: ParallelCheck::All,
+            generic_arith: true,
+            ..Self::plain()
+        }
+    }
+
+    /// The SPUR-like configuration of §7: row 7 but with checked accesses for
+    /// lists only.
+    pub fn spur(drop_bits: u32) -> Self {
+        HwConfig {
+            parallel_check: ParallelCheck::Lists,
+            ..Self::maximal(drop_bits)
+        }
+    }
+
+    /// The mask applied to every effective data address: the top
+    /// [`drop_high_address_bits`](Self::drop_high_address_bits) are cleared, and the
+    /// bottom two bits are always dropped because memory is word-aligned (as on
+    /// MIPS-X, paper §5.2).
+    pub fn address_mask(&self) -> u32 {
+        let high = if self.drop_high_address_bits == 0 {
+            u32::MAX
+        } else {
+            u32::MAX >> self.drop_high_address_bits
+        };
+        high & !0b11
+    }
+}
+
+impl Default for HwConfig {
+    fn default() -> Self {
+        Self::plain()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_has_no_support() {
+        let hw = HwConfig::plain();
+        assert_eq!(hw.drop_high_address_bits, 0);
+        assert!(!hw.tag_branch);
+        assert_eq!(hw.parallel_check, ParallelCheck::None);
+        assert!(!hw.generic_arith);
+    }
+
+    #[test]
+    fn address_mask_drops_alignment_and_high_bits() {
+        assert_eq!(HwConfig::plain().address_mask(), !0b11);
+        assert_eq!(HwConfig::with_address_drop(5).address_mask(), 0x07FF_FFFC);
+    }
+
+    #[test]
+    fn maximal_enables_everything() {
+        let hw = HwConfig::maximal(5);
+        assert!(hw.tag_branch && hw.generic_arith);
+        assert_eq!(hw.parallel_check, ParallelCheck::All);
+        assert_eq!(hw.drop_high_address_bits, 5);
+        assert_eq!(HwConfig::spur(5).parallel_check, ParallelCheck::Lists);
+    }
+}

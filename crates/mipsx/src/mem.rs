@@ -1,0 +1,77 @@
+//! The simulated data memory.
+
+/// Word-organised data memory with byte addressing.
+///
+/// Addresses are byte addresses; accesses are word-aligned (the CPU masks the low
+/// two bits before calling in, mirroring MIPS-X's word-aligned memory system).
+#[derive(Debug, Clone)]
+pub struct Mem {
+    words: Vec<u32>,
+}
+
+impl Mem {
+    /// A zeroed memory of `bytes` bytes (rounded up to a whole word).
+    pub fn new(bytes: usize) -> Self {
+        Mem {
+            words: vec![0; bytes.div_ceil(4)],
+        }
+    }
+
+    /// Size in bytes.
+    pub fn size(&self) -> usize {
+        self.words.len() * 4
+    }
+
+    /// Read the word at byte address `addr` (low two bits ignored).
+    ///
+    /// Returns `None` when the address is outside memory.
+    pub fn load(&self, addr: u32) -> Option<u32> {
+        self.words.get((addr >> 2) as usize).copied()
+    }
+
+    /// Write the word at byte address `addr` (low two bits ignored).
+    ///
+    /// Returns `false` when the address is outside memory.
+    pub fn store(&mut self, addr: u32, value: u32) -> bool {
+        match self.words.get_mut((addr >> 2) as usize) {
+            Some(w) => {
+                *w = value;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Direct word-indexed view (for test assertions and heap dumps).
+    pub fn words(&self) -> &[u32] {
+        &self.words
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_and_alignment() {
+        let mut m = Mem::new(64);
+        assert!(m.store(8, 0xdead_beef));
+        assert_eq!(m.load(8), Some(0xdead_beef));
+        // low bits ignored
+        assert_eq!(m.load(9), Some(0xdead_beef));
+        assert_eq!(m.load(11), Some(0xdead_beef));
+    }
+
+    #[test]
+    fn out_of_range() {
+        let mut m = Mem::new(8);
+        assert_eq!(m.load(8), None);
+        assert!(!m.store(100, 1));
+    }
+
+    #[test]
+    fn size_rounds_up() {
+        assert_eq!(Mem::new(5).size(), 8);
+        assert_eq!(Mem::new(0).size(), 0);
+    }
+}

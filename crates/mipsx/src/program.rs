@@ -1,0 +1,100 @@
+//! An assembled, label-resolved program.
+
+use std::collections::HashMap;
+
+use crate::annot::Annot;
+use crate::insn::Insn;
+
+/// An executable program: resolved instructions, their annotations, an entry point,
+/// and an initial data image.
+#[derive(Debug, Clone, Default)]
+pub struct Program {
+    /// Instructions; the program counter indexes this vector.
+    pub insns: Vec<Insn>,
+    /// Parallel annotation per instruction.
+    pub annots: Vec<Annot>,
+    /// Entry instruction index.
+    pub entry: usize,
+    /// Initial data memory image: `(byte address, word)` pairs.
+    pub data: Vec<(u32, u32)>,
+    /// Named code positions (for debugging and tests).
+    pub symbols: HashMap<String, usize>,
+}
+
+impl Program {
+    /// Number of instructions.
+    pub fn len(&self) -> usize {
+        self.insns.len()
+    }
+
+    /// Whether the program has no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.insns.is_empty()
+    }
+
+    /// A human-readable listing with per-instruction tag-operation annotations
+    /// (debugging and sequence-inspection aid).
+    pub fn listing_annotated(&self) -> String {
+        use std::fmt::Write as _;
+        let mut by_index: HashMap<usize, &str> = HashMap::new();
+        for (name, idx) in &self.symbols {
+            by_index.insert(*idx, name);
+        }
+        let mut out = String::new();
+        for (i, insn) in self.insns.iter().enumerate() {
+            if let Some(name) = by_index.get(&i) {
+                let _ = writeln!(out, "{name}:");
+            }
+            let a = self.annots.get(i).copied().unwrap_or_default();
+            let tag = match a.tag_op {
+                Some(op) => format!("{op:?}"),
+                None => String::new(),
+            };
+            let cat = match a.cat {
+                crate::annot::CheckCat::NotChecking => String::new(),
+                c => format!("/{c:?}"),
+            };
+            let _ = writeln!(out, "  {i:5}  {insn:<40} {tag}{cat}");
+        }
+        out
+    }
+
+    /// A human-readable listing (debugging aid).
+    pub fn listing(&self) -> String {
+        use std::fmt::Write as _;
+        let mut by_index: HashMap<usize, &str> = HashMap::new();
+        for (name, idx) in &self.symbols {
+            by_index.insert(*idx, name);
+        }
+        let mut out = String::new();
+        for (i, insn) in self.insns.iter().enumerate() {
+            if let Some(name) = by_index.get(&i) {
+                let _ = writeln!(out, "{name}:");
+            }
+            let _ = writeln!(out, "  {i:5}  {insn}");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reg::Reg;
+
+    #[test]
+    fn listing_shows_symbols() {
+        let p = Program {
+            insns: vec![Insn::Nop, Insn::Halt(Reg::Zero)],
+            annots: vec![Annot::NONE; 2],
+            entry: 0,
+            data: vec![],
+            symbols: [("main".to_string(), 0)].into_iter().collect(),
+        };
+        let l = p.listing();
+        assert!(l.contains("main:"));
+        assert!(l.contains("halt"));
+        assert_eq!(p.len(), 2);
+        assert!(!p.is_empty());
+    }
+}

@@ -1,0 +1,125 @@
+; boyer: the Boyer benchmark (Gabriel) — a rewrite-rule-based simplifier
+; combined with a dumb tautology checker, scaled to simulator size. Lemmas are
+; stored on the leading function symbol's property list; terms are rewritten
+; bottom-up to if-normal form, then checked by case analysis.
+
+(defvar unify-subst nil)
+
+(defun add-lemma (term)
+  ; term = (equal lhs rhs)
+  (let ((lhs (cadr term)))
+    (put (car lhs) 'lemmas (cons term (get (car lhs) 'lemmas)))))
+
+(defun apply-subst (alist term)
+  (cond ((atom term)
+         (let ((b (assq term alist)))
+           (if b (cdr b) term)))
+        (t (cons (car term) (apply-subst-lst alist (cdr term))))))
+
+(defun apply-subst-lst (alist lst)
+  (if (null lst) nil
+    (cons (apply-subst alist (car lst)) (apply-subst-lst alist (cdr lst)))))
+
+(defun one-way-unify (term1 term2)
+  (setq unify-subst nil)
+  (one-way-unify1 term1 term2))
+
+(defun one-way-unify1 (term1 term2)
+  (cond ((atom term2)
+         (let ((b (assq term2 unify-subst)))
+           (if b (equal term1 (cdr b))
+             (progn (setq unify-subst (cons (cons term2 term1) unify-subst)) t))))
+        ((atom term1) nil)
+        ((eq (car term1) (car term2))
+         (one-way-unify1-lst (cdr term1) (cdr term2)))
+        (t nil)))
+
+(defun one-way-unify1-lst (l1 l2)
+  (cond ((null l1) (null l2))
+        ((null l2) nil)
+        ((one-way-unify1 (car l1) (car l2))
+         (one-way-unify1-lst (cdr l1) (cdr l2)))
+        (t nil)))
+
+(defun rewrite (term)
+  (if (atom term) term
+    (rewrite-with-lemmas (cons (car term) (rewrite-args (cdr term)))
+                         (get (car term) 'lemmas))))
+
+(defun rewrite-args (lst)
+  (if (null lst) nil
+    (cons (rewrite (car lst)) (rewrite-args (cdr lst)))))
+
+(defun rewrite-with-lemmas (term lst)
+  (cond ((null lst) term)
+        ((one-way-unify term (cadr (car lst)))
+         (rewrite (apply-subst unify-subst (caddr (car lst)))))
+        (t (rewrite-with-lemmas term (cdr lst)))))
+
+(defun truep (x lst)
+  (or (equal x '(t)) (member x lst)))
+
+(defun falsep (x lst)
+  (or (equal x '(f)) (member x lst)))
+
+(defun tautologyp (x true-lst false-lst)
+  (cond ((truep x true-lst) t)
+        ((falsep x false-lst) nil)
+        ((atom x) nil)
+        ((eq (car x) 'if)
+         (cond ((truep (cadr x) true-lst)
+                (tautologyp (caddr x) true-lst false-lst))
+               ((falsep (cadr x) false-lst)
+                (tautologyp (cadddr x) true-lst false-lst))
+               (t (and (tautologyp (caddr x) (cons (cadr x) true-lst) false-lst)
+                       (tautologyp (cadddr x) true-lst (cons (cadr x) false-lst))))))
+        (t nil)))
+
+(defun tautp (x)
+  (tautologyp (rewrite x) nil nil))
+
+; --- the lemma base (a representative subset of Gabriel's) -------------------
+(add-lemma '(equal (and p q) (if p (if q (t) (f)) (f))))
+(add-lemma '(equal (or p q) (if p (t) (if q (t) (f)))))
+(add-lemma '(equal (not p) (if p (f) (t))))
+(add-lemma '(equal (implies p q) (if p (if q (t) (f)) (t))))
+(add-lemma '(equal (plus (plus x y) z) (plus x (plus y z))))
+(add-lemma '(equal (equal (plus a b) (zero)) (and (zerop a) (zerop b))))
+(add-lemma '(equal (difference x x) (zero)))
+(add-lemma '(equal (equal (plus a b) (plus a c)) (equal b c)))
+(add-lemma '(equal (equal (zero) (difference x y)) (not (lessp y x))))
+(add-lemma '(equal (times x (plus y z)) (plus (times x y) (times x z))))
+(add-lemma '(equal (times (times x y) z) (times x (times y z))))
+(add-lemma '(equal (equal (times x y) (zero)) (or (zerop x) (zerop y))))
+(add-lemma '(equal (append (append x y) z) (append x (append y z))))
+(add-lemma '(equal (reverse (append a b)) (append (reverse b) (reverse a))))
+(add-lemma '(equal (member x (append a b)) (or (member x a) (member x b))))
+(add-lemma '(equal (member x (reverse y)) (member x y)))
+(add-lemma '(equal (length (reverse x)) (length x)))
+(add-lemma '(equal (zerop x) (equal x (zero))))
+(add-lemma '(equal (lessp (remainder x y) y) (not (zerop y))))
+(add-lemma '(equal (remainder x x) (zero)))
+(add-lemma '(equal (lessp (plus x y) (plus x z)) (lessp y z)))
+(add-lemma '(equal (lessp (times x z) (times y z)) (and (not (zerop z)) (lessp x y))))
+(add-lemma '(equal (lessp y (plus x y)) (not (zerop x))))
+(add-lemma '(equal (equal (append a b) (append a c)) (equal b c)))
+(add-lemma '(equal (nth (nil*) i) (if (zerop i) (nil*) (ntho))))
+; if-normalization: lifts if-conditions so the tautology checker's case
+; analysis sees atomic-enough tests (the classic boyer rewrite)
+(add-lemma '(equal (if (if a b c) d e) (if a (if b d e) (if c d e))))
+
+; --- the theorem ---------------------------------------------------------------
+(defvar the-subst
+  '((x . (f (plus (plus a b) (plus c (zero)))))
+    (y . (f (times (times a b) (plus c d))))
+    (z . (f (reverse (append (append a b) (nil*)))))
+    (u . (equal (plus a b) (difference x y)))
+    (w . (lessp (remainder a b) (member a (length b))))))
+
+(defvar the-term
+  '(implies (and (implies x y)
+                 (and (implies y z) (implies z u)))
+            (implies x u)))
+
+(defvar result (tautp (apply-subst the-subst the-term)))
+(print result)

@@ -1,0 +1,78 @@
+; brow: a short version of the Browse benchmark (Gabriel). Creates an AI-style
+; database of units, each carrying a few randomly generated pattern
+; expressions, then browses through it matching query patterns containing
+; element wildcards (?) and segment wildcards (*) — the segment matcher's
+; backtracking dominates, as in the original.
+
+; --- deterministic pseudo-random numbers --------------------------------------
+(defvar seed 74755)
+(defun rand (m)
+  ; take high-order bits: the low-order residues of a small LCG are correlated
+  (setq seed (remainder (plus (times seed 81) 74) 32767))
+  (remainder (quotient seed 13) m))
+
+; --- the matcher ----------------------------------------------------------------
+(defun match (pat dat)
+  (cond ((null pat) (null dat))
+        ((eq (car pat) '?)
+         (and (pairp dat) (match (cdr pat) (cdr dat))))
+        ((eq (car pat) '*)
+         (or (match (cdr pat) dat)
+             (and (pairp dat) (match pat (cdr dat)))))
+        ((pairp (car pat))
+         (and (pairp dat)
+              (pairp (car dat))
+              (match (car pat) (car dat))
+              (match (cdr pat) (cdr dat))))
+        (t (and (pairp dat)
+                (eq (car pat) (car dat))
+                (match (cdr pat) (cdr dat))))))
+
+; --- random data generation -------------------------------------------------------
+(defvar atoms '(a b c d foo bar baz))
+
+(defun random-atom ()
+  (nth atoms (rand 7)))
+
+; a flat random list of n atoms
+(defun random-flat (n)
+  (if (leq n 0) nil
+    (cons (random-atom) (random-flat (sub1 n)))))
+
+; a pattern expression of given depth: atoms, one sublist, trailing atoms
+(defun random-expr (depth)
+  (if (leq depth 0)
+      (random-flat (add1 (rand 4)))
+    (append (random-flat (add1 (rand 3)))
+            (cons (random-expr (sub1 depth))
+                  (random-flat (rand 3))))))
+
+; units: a list of (patterns ...) bundles
+(defun make-units (n)
+  (if (leq n 0) nil
+    (cons (list (random-expr 2) (random-expr 1) (random-expr 2))
+          (make-units (sub1 n)))))
+
+(defvar db (make-units 30))
+
+; --- browsing -----------------------------------------------------------------------
+(defun count-matches (pat)
+  (let ((units db) (n 0))
+    (while (pairp units)
+      (let ((pats (car units)))
+        (while (pairp pats)
+          (if (match pat (car pats)) (setq n (add1 n)) nil)
+          (setq pats (cdr pats))))
+      (setq units (cdr units)))
+    n))
+
+(defvar q1 '(* c * d *))
+(defvar q2 '(* foo ? *))
+(defvar q3 '(* (* c *) *))
+
+(defvar reps 10)
+(defvar results nil)
+(while (greaterp reps 0)
+  (setq results (list (count-matches q1) (count-matches q2) (count-matches q3)))
+  (setq reps (sub1 reps)))
+(print results)

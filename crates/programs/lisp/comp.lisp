@@ -1,0 +1,112 @@
+; comp: the first pass of a compiler front-end, modelled on the PSL compiler's
+; pass one. Translates an expression language — integers, variables, let,
+; if, and the operators add/sub/mul — into linear stack-machine code
+; (instruction lists), with a lexical environment for slot allocation and
+; constant folding of literal subexpressions.
+;
+; The test corpus is generated structurally so the pass sees deep trees.
+
+; --- instruction constructors ----------------------------------------------
+(defun ins-const (n) (list 'const n))
+(defun ins-load (i) (list 'load i))
+(defun ins-store (i) (list 'store i))
+(defun ins-op (o) (list o))
+
+; --- environment: list of names; slot = position -----------------------------
+(defun slot-of (v env)
+  (let ((i 0) (found nil))
+    (while (and (null found) (pairp env))
+      (if (eq (car env) v) (setq found t)
+          (progn (setq i (add1 i)) (setq env (cdr env)))))
+    (if found i nil)))
+
+(defun constantp (x) (intp x))
+
+; constant folding for binary operators
+(defun fold (op a b)
+  (cond ((eq op 'add) (plus a b))
+        ((eq op 'sub) (difference a b))
+        ((eq op 'mul) (times a b))
+        (t 0)))
+
+; --- the translator -----------------------------------------------------------
+; returns a list of instructions, consumed in order by a stack machine
+(defun comp-expr (x env)
+  (cond ((constantp x) (list (ins-const x)))
+        ((idp x)
+         (let ((s (slot-of x env)))
+           (if s (list (ins-load s)) (list (ins-const 0)))))
+        ((eq (car x) 'let)
+         ; (let v init body)
+         (let ((v (cadr x)) (init (caddr x)) (body (cadddr x)))
+           (append (comp-expr init env)
+                   (append (list (ins-store (length env)))
+                           (comp-expr body (append env (list v)))))))
+        ((eq (car x) 'if)
+         ; (if c a b) -> c (branch n) a (jump m) b
+         (let ((cc (comp-expr (cadr x) env))
+               (ca (comp-expr (caddr x) env))
+               (cb (comp-expr (cadddr x) env)))
+           (append cc
+                   (append (list (list 'brz (add1 (length ca))))
+                           (append ca
+                                   (append (list (list 'jmp (length cb)))
+                                           cb))))))
+        (t
+         ; binary operator, with constant folding
+         (let ((a (cadr x)) (b (caddr x)))
+           (if (and (constantp a) (constantp b))
+               (list (ins-const (fold (car x) a b)))
+               (append (comp-expr a env)
+                       (append (comp-expr b env)
+                               (list (ins-op (car x))))))))))
+
+; --- code metrics: census of opcode classes -----------------------------------
+(defun census (code kind)
+  (let ((n 0))
+    (while (pairp code)
+      (if (eq (caar code) kind) (setq n (add1 n)) nil)
+      (setq code (cdr code)))
+    n))
+
+; --- generate a corpus of expressions ----------------------------------------
+; expr(d): depth-d tree mixing let/if/operators deterministically
+(defun gen-expr (d salt)
+  (if (leq d 0)
+      (if (eq (remainder salt 3) 0) 'x0
+          (if (eq (remainder salt 3) 1) 'x1 (remainder salt 13)))
+      (let ((w (remainder salt 5)))
+        (cond ((eq w 0) (list 'let 'x1 (gen-expr (sub1 d) (plus salt 1))
+                              (gen-expr (sub1 d) (plus salt 3))))
+              ((eq w 1) (list 'if (gen-expr (sub1 d) (plus salt 5))
+                              (gen-expr (sub1 d) (plus salt 7))
+                              (gen-expr (sub1 d) (plus salt 11))))
+              ((eq w 2) (list 'add (gen-expr (sub1 d) (plus salt 2))
+                              (gen-expr (sub1 d) (plus salt 4))))
+              ((eq w 3) (list 'sub (gen-expr (sub1 d) (plus salt 6))
+                              (gen-expr (sub1 d) (plus salt 8))))
+              (t (list 'mul (gen-expr (sub1 d) (plus salt 10))
+                       (gen-expr (sub1 d) (plus salt 12))))))))
+
+(defvar total-len 0)
+(defvar n-consts 0)
+(defvar n-loads 0)
+(defvar n-branches 0)
+(defvar n-exprs 0)
+
+(defun driver (n)
+  (let ((i 0))
+    (while (lessp i n)
+      (let ((code (comp-expr (gen-expr 6 i) '(x0))))
+        (setq total-len (plus total-len (length code)))
+        (setq n-consts (plus n-consts (census code 'const)))
+        (setq n-loads (plus n-loads (census code 'load)))
+        (setq n-branches (plus n-branches (census code 'brz)))
+        (setq n-exprs (add1 n-exprs)))
+      (setq i (add1 i)))))
+
+(driver 14)
+
+(print n-exprs)
+(print total-len)
+(print (list n-consts n-loads n-branches))

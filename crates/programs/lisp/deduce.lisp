@@ -1,0 +1,116 @@
+; deduce: a deductive information retriever, adapted from Charniak, Riesbeck &
+; McDermott's "Artificial Intelligence Programming". Facts are indexed by
+; predicate (a one-level discrimination net kept on the predicate symbol's
+; property list); queries are patterns with variables, and conjunctive queries
+; join binding environments. A small backward chainer proves goals through
+; if-then rules.
+;
+; Entities are small integers so the fact base can be generated; predicates and
+; variables are symbols.
+
+(defvar *preds* nil)
+
+(defun add-fact (f)
+  (let ((p (car f)))
+    (if (null (memq p *preds*))
+        (setq *preds* (cons p *preds*))
+        nil)
+    (put p 'facts (cons f (get p 'facts)))
+    f))
+
+(defun variablep (x)
+  (and (idp x) (memq x '(?x ?y ?z ?u ?v ?w))))
+
+; match pattern against datum, threading an a-list of bindings.
+; bindings start as ((t . t)) so nil means failure.
+(defun pmatch (pat dat binds)
+  (cond ((null binds) nil)
+        ((variablep pat)
+         (let ((b (assq pat binds)))
+           (if (and b (not (variablep (cdr b))))
+               (if (equal (cdr b) dat) binds nil)
+               (cons (cons pat dat) binds))))
+        ((atom pat) (if (eq pat dat) binds nil))
+        ((atom dat) nil)
+        (t (pmatch (cdr pat) (cdr dat) (pmatch (car pat) (car dat) binds)))))
+
+; retrieve: all binding environments that match pat against stored facts.
+(defun retrieve (pat binds)
+  (let ((fs (get (car pat) 'facts)) (out nil))
+    (while (pairp fs)
+      (let ((b (pmatch pat (car fs) binds)))
+        (if b (setq out (cons b out)) nil))
+      (setq fs (cdr fs)))
+    out))
+
+; substitute bindings into a pattern.
+(defun psubst (pat binds)
+  (cond ((variablep pat)
+         (let ((b (assq pat binds)))
+           (if b (cdr b) pat)))
+        ((atom pat) pat)
+        (t (cons (psubst (car pat) binds) (psubst (cdr pat) binds)))))
+
+; conjunctive query: a list of patterns; returns all binding environments.
+(defun retrieve-all (pats binds)
+  (if (null pats) (list binds)
+    (let ((first-matches (prove (psubst (car pats) binds) binds))
+          (out nil))
+      (while (pairp first-matches)
+        (setq out (append (retrieve-all (cdr pats) (car first-matches)) out))
+        (setq first-matches (cdr first-matches)))
+      out)))
+
+; rules: (head pat1 pat2 ...) meaning head <- pat1 & pat2 ...
+(defvar *rules* nil)
+(defun add-rule (r) (setq *rules* (cons r *rules*)))
+
+(defvar *depth* 0)
+
+; prove a goal: stored facts plus backward chaining through rules.
+(defun prove (goal binds)
+  (let ((out (retrieve goal binds)))
+    (if (greaterp *depth* 6) out
+        (let ((rs *rules*))
+          (setq *depth* (add1 *depth*))
+          (while (pairp rs)
+            (let ((b (pmatch (caar rs) goal '((t . t)))))
+              (if b
+                  (let ((solutions (retrieve-all (cdar rs) b)))
+                    (while (pairp solutions)
+                      (let ((merged (pmatch goal (psubst (caar rs) (car solutions)) binds)))
+                        (if merged (setq out (cons merged out)) nil))
+                      (setq solutions (cdr solutions))))
+                  nil))
+            (setq rs (cdr rs)))
+          (setq *depth* (sub1 *depth*))
+          out))))
+
+(defun count-solutions (pats)
+  (length (retrieve-all pats '((t . t)))))
+
+; --- build the fact base ---------------------------------------------------
+; a three-generation family over integer-named people: parent i -> 2i, 2i+1
+(defun build-family (n)
+  (let ((i 1))
+    (while (lessp i n)
+      (add-fact (list 'parent i (times 2 i)))
+      (add-fact (list 'parent i (add1 (times 2 i))))
+      (if (eq (remainder i 2) 0)
+          (add-fact (list 'male i))
+          (add-fact (list 'female i)))
+      (setq i (add1 i)))))
+
+(build-family 16)
+
+(add-rule '((father ?u ?v) (parent ?u ?v) (male ?u)))
+(add-rule '((mother ?u ?v) (parent ?u ?v) (female ?u)))
+(add-rule '((grandparent ?u ?w) (parent ?u ?v) (parent ?v ?w)))
+(add-rule '((sibling ?v ?w) (parent ?u ?v) (parent ?u ?w)))
+
+; --- queries ---------------------------------------------------------------
+(defvar total (count-solutions '((grandparent 1 ?z))))
+(print total)
+
+(print (count-solutions '((father ?x ?y) (grandparent ?x ?z))))
+(print (count-solutions '((sibling ?y ?z) (male ?y))))

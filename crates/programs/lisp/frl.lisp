@@ -1,0 +1,124 @@
+; frl: a simple inventory system using a frame representation language,
+; following the FRL style: frames are symbols, slots live on property lists,
+; and the ako (a-kind-of) link provides inheritance. The inventory tracks
+; parts with quantities, unit costs and reorder points; queries walk the
+; frame hierarchy.
+
+; --- the frame language -----------------------------------------------------
+(defun fput (frame slot value)
+  (put frame slot value))
+
+(defun fget-local (frame slot)
+  (get frame slot))
+
+; inherited lookup through the ako chain
+(defun fget (frame slot)
+  (let ((v (get frame slot)))
+    (if v v
+        (let ((parent (get frame 'ako)))
+          (if parent (fget parent slot) nil)))))
+
+(defvar *frames* nil)
+(defun defframe (name parent)
+  (setq *frames* (cons name *frames*))
+  (if parent (fput name 'ako parent) nil)
+  name)
+
+; collect all frames that inherit (directly or not) from `root`
+(defun akop (f root)
+  (cond ((null f) nil)
+        ((eq f root) t)
+        (t (akop (get f 'ako) root))))
+
+(defun instances-of (root)
+  (let ((fs *frames*) (out nil))
+    (while (pairp fs)
+      (if (and (akop (car fs) root) (not (eq (car fs) root)))
+          (setq out (cons (car fs) out))
+          nil)
+      (setq fs (cdr fs)))
+    out))
+
+; --- the inventory ------------------------------------------------------------
+(defframe 'part nil)
+(fput 'part 'unit-cost 10)
+(fput 'part 'reorder-at 5)
+
+(defframe 'mechanical 'part)
+(defframe 'electrical 'part)
+(fput 'electrical 'unit-cost 45)
+
+(defframe 'engine 'mechanical)
+(fput 'engine 'unit-cost 900)
+(fput 'engine 'stock 3)
+(fput 'engine 'reorder-at 4)
+
+(defframe 'wheel 'mechanical)
+(fput 'wheel 'unit-cost 75)
+(fput 'wheel 'stock 2)
+
+(defframe 'axle 'mechanical)
+(fput 'axle 'stock 40)
+
+(defframe 'bolt 'mechanical)
+(fput 'bolt 'unit-cost 1)
+(fput 'bolt 'stock 500)
+
+(defframe 'alternator 'electrical)
+(fput 'alternator 'stock 12)
+
+(defframe 'starter 'electrical)
+(fput 'starter 'unit-cost 120)
+(fput 'starter 'stock 7)
+
+(defframe 'harness 'electrical)
+(fput 'harness 'stock 30)
+
+(defframe 'brake-pad 'mechanical)
+(fput 'brake-pad 'unit-cost 22)
+(fput 'brake-pad 'stock 4)
+(fput 'brake-pad 'reorder-at 8)
+
+; --- queries -------------------------------------------------------------------
+(defun stock-value (root)
+  (let ((fs (instances-of root)) (total 0))
+    (while (pairp fs)
+      (let ((s (fget (car fs) 'stock)))
+        (if s (setq total (plus total (times s (fget (car fs) 'unit-cost)))) nil))
+      (setq fs (cdr fs)))
+    total))
+
+(defun needs-reorder (root)
+  (let ((fs (instances-of root)) (out nil))
+    (while (pairp fs)
+      (let ((s (fget (car fs) 'stock)))
+        (if (and s (lessp s (fget (car fs) 'reorder-at)))
+            (setq out (cons (car fs) out))
+            nil))
+      (setq fs (cdr fs)))
+    out))
+
+; simulate receipts and issues over a few cycles, then report
+(defun issue (f n)
+  (fput f 'stock (difference (fget f 'stock) n)))
+
+(defun receive (f n)
+  (fput f 'stock (plus (fget f 'stock) n)))
+
+(defvar day 0)
+(defvar value-trace 0)
+(while (lessp day 120)
+  (issue 'bolt 3)
+  (issue 'wheel 0)
+  (receive 'harness 1)
+  (if (eq (remainder day 6) 0) (issue 'alternator 1) nil)
+  (if (eq (remainder day 8) 0) (receive 'engine 1) nil)
+  ; nightly reporting walks the whole frame hierarchy
+  (setq value-trace (remainder (plus value-trace (stock-value 'part)) 99991))
+  (needs-reorder 'part)
+  (setq day (add1 day)))
+
+(print (stock-value 'part))
+(print value-trace)
+(print (length (instances-of 'part)))
+(print (needs-reorder 'part))

@@ -1,0 +1,76 @@
+; inter: a simple interpreter for a subset of LISP, adapted from "Lisp in Lisp"
+; (Winston & Horn). Interprets insertion sort over a ten-element list and the
+; Fibonacci function at 10 and 15.
+;
+; The interpreted language: integers, quote, if, lambda, define (global
+; definitions), and the primitives add sub less kons kar kdr null?.
+
+(defvar *defs* nil)
+
+(defun idefine (name params body)
+  (setq *defs* (cons (cons name (list 'closure params body nil)) *defs*))
+  name)
+
+(defun ilookup (x env)
+  (let ((b (assq x env)))
+    (if b (cdr b)
+      (let ((d (assq x *defs*)))
+        (if d (cdr d) x)))))            ; unknown symbols name primitives
+
+(defun iev (x env)
+  (cond ((intp x) x)
+        ((null x) nil)
+        ((eq x 't) t)
+        ((idp x) (ilookup x env))
+        ((eq (car x) 'quote) (cadr x))
+        ((eq (car x) 'if)
+         (if (iev (cadr x) env)
+             (iev (caddr x) env)
+             (iev (cadddr x) env)))
+        ((eq (car x) 'lambda) (list 'closure (cadr x) (caddr x) env))
+        (t (iap (iev (car x) env) (ievlis (cdr x) env)))))
+
+(defun ievlis (l env)
+  (if (null l) nil
+    (cons (iev (car l) env) (ievlis (cdr l) env))))
+
+(defun ibind (params args env)
+  (let ((e env))
+    (while (pairp params)
+      (setq e (cons (cons (car params) (car args)) e))
+      (setq params (cdr params))
+      (setq args (cdr args)))
+    e))
+
+(defun iap (f args)
+  (cond ((idp f) (iprim f args))
+        ((pairp f) (iev (caddr f) (ibind (cadr f) args (cadddr f))))
+        (t nil)))
+
+(defun iprim (f args)
+  (cond ((eq f 'add) (plus (car args) (cadr args)))
+        ((eq f 'sub) (difference (car args) (cadr args)))
+        ((eq f 'less) (lessp (car args) (cadr args)))
+        ((eq f 'kons) (cons (car args) (cadr args)))
+        ((eq f 'kar) (car (car args)))
+        ((eq f 'kdr) (cdr (car args)))
+        ((eq f 'null?) (null (car args)))
+        (t nil)))
+
+; --- the interpreted programs ---------------------------------------------
+
+(idefine 'fib '(n)
+  '(if (less n 2) n (add (fib (sub n 1)) (fib (sub n 2)))))
+
+(idefine 'ins '(x l)
+  '(if (null? l) (kons x (quote ()))
+     (if (less x (kar l)) (kons x l)
+       (kons (kar l) (ins x (kdr l))))))
+
+(idefine 'isort '(l)
+  '(if (null? l) (quote ())
+     (ins (kar l) (isort (kdr l)))))
+
+(print (iev '(isort (quote (5 2 8 1 9 3 7 4 6 0))) nil))
+(print (iev '(fib 10) nil))
+(print (iev '(fib 15) nil))

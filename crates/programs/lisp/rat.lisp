@@ -1,0 +1,91 @@
+; rat: a rational function evaluator, in the spirit of the evaluator shipped
+; with PSL. Rational numbers are (num . den) pairs kept in lowest terms with a
+; positive denominator; polynomials are coefficient lists (constant term
+; first). Rational functions p(x)/q(x) are evaluated exactly at rational
+; points with Horner's rule — the most arithmetic-intensive program in the set.
+;
+; The sweep tracks the extrema and a threshold count (rather than an exact sum)
+; so every intermediate product stays inside the narrowest fixnum range of the
+; tag schemes under study; there are no bignums in this system, as in early
+; PSL configurations.
+
+(defun gcd2 (a b)
+  (setq a (abs a))
+  (setq b (abs b))
+  (while (greaterp b 0)
+    (let ((r (remainder a b)))
+      (setq a b)
+      (setq b r)))
+  a)
+
+(defun make-rat (n d)
+  (if (lessp d 0) (progn (setq n (minus n)) (setq d (minus d))) nil)
+  (let ((g (gcd2 n d)))
+    (if (greaterp g 1)
+        (cons (quotient n g) (quotient d g))
+        (cons n d))))
+
+(defun rat+ (a b)
+  (make-rat (plus (times (car a) (cdr b)) (times (car b) (cdr a)))
+            (times (cdr a) (cdr b))))
+
+(defun rat- (a b)
+  (make-rat (difference (times (car a) (cdr b)) (times (car b) (cdr a)))
+            (times (cdr a) (cdr b))))
+
+(defun rat* (a b)
+  (make-rat (times (car a) (car b)) (times (cdr a) (cdr b))))
+
+(defun rat/ (a b)
+  (make-rat (times (car a) (cdr b)) (times (cdr a) (car b))))
+
+(defun rat< (a b)
+  (lessp (times (car a) (cdr b)) (times (car b) (cdr a))))
+
+; Horner evaluation of a polynomial (integer coefficients) at a rational.
+(defun poly-eval (p x)
+  (let ((acc (cons 0 1)) (rp (reverse p)))
+    (while (pairp rp)
+      (setq acc (rat+ (rat* acc x) (cons (car rp) 1)))
+      (setq rp (cdr rp)))
+    acc))
+
+; A rational function is (num-poly . den-poly).
+(defun ratfun-eval (f x)
+  (rat/ (poly-eval (car f) x) (poly-eval (cdr f) x)))
+
+(defvar f1 '((1 -3 2) . (4 1)))          ; (2x^2 - 3x + 1) / (x + 4)
+(defvar f2 '((0 2 1) . (1 0 1)))         ; (x^2 + 2x) / (x^2 + 1)
+
+; Evaluate f at k/2 for k = 1..n; report (max min count-above-threshold).
+(defun sweep (f n threshold)
+  (let ((k 1) (vmax nil) (vmin nil) (count 0))
+    (while (leq k n)
+      (let ((v (ratfun-eval f (make-rat k 2))))
+        (if (or (null vmax) (rat< vmax v)) (setq vmax v) nil)
+        (if (or (null vmin) (rat< v vmin)) (setq vmin v) nil)
+        (if (rat< threshold v) (setq count (add1 count)) nil))
+      (setq k (add1 k)))
+    (list vmax vmin count)))
+
+(defun print-rat (r)
+  (wrint (car r))
+  (wrch 47)                              ; '/'
+  (wrint (cdr r))
+  (terpri))
+
+(defvar r1 nil)
+(defvar r2 nil)
+(defvar reps 12)
+(while (greaterp reps 0)
+  (setq r1 (sweep f1 20 (cons 5 1)))
+  (setq r2 (sweep f2 20 (cons 1 1)))
+  (setq reps (sub1 reps)))
+
+(print-rat (car r1))
+(print-rat (cadr r1))
+(print (caddr r1))
+(print-rat (car r2))
+(print-rat (cadr r2))
+(print (caddr r2))
+(print-rat (rat- (rat* (cadr r1) (cons 8 3)) (rat/ (car r2) (cons 7 5))))

@@ -1,0 +1,76 @@
+; trav: a short version of the Traverse benchmark (Gabriel). Creates a graph
+; of nodes represented as structures — implemented as vectors, as in the
+; paper's PSL — and repeatedly traverses it, flipping marks. Nearly all data
+; accesses go through vectors, which is why this program tops the paper's
+; vector-checking column.
+
+; node: [0]=mark [1]=sons [2]=entry [3]=visits [4..7]=payload
+(defvar nnodes 60)
+(defvar nodes (mkvect 60))
+
+(defvar seed 12345)
+(defun rand (m)
+  (setq seed (remainder (plus (times seed 141) 28411) 134456))
+  (remainder seed m))
+
+(defun make-nodes ()
+  (let ((i 0))
+    (while (lessp i nnodes)
+      (let ((v (mkvect 8)))
+        (putv v 0 0)
+        (putv v 1 nil)
+        (putv v 2 i)
+        (putv v 3 0)
+        (putv v 4 i)
+        (putv v 5 0)
+        (putv v 6 i)
+        (putv v 7 0)
+        (putv nodes i v))
+      (setq i (add1 i)))))
+
+(defun add-edge (a b)
+  (let ((v (getv nodes a)))
+    (putv v 1 (cons (getv nodes b) (getv v 1)))))
+
+(defun build-graph ()
+  (make-nodes)
+  ; a ring, so everything is reachable
+  (let ((i 0))
+    (while (lessp i nnodes)
+      (add-edge i (remainder (add1 i) nnodes))
+      (setq i (add1 i))))
+  ; plus random chords
+  (let ((k 0))
+    (while (lessp k 240)
+      (add-edge (rand nnodes) (rand nnodes))
+      (setq k (add1 k)))))
+
+; traverse: visit every node not yet carrying `mark`, count visits
+(defun traverse (node mark)
+  (if (eq (getv node 0) mark) 0
+    (progn
+      (putv node 0 mark)
+      (putv node 3 (add1 (getv node 3)))
+      ; rotate the payload slots (structure-field traffic, as in Gabriel's
+      ; eleven-slot traverse nodes)
+      (putv node 5 (getv node 4))
+      (putv node 4 (getv node 6))
+      (putv node 6 (getv node 7))
+      (putv node 7 (getv node 2))
+      (let ((sons (getv node 1)) (count 1))
+        (while (pairp sons)
+          (setq count (plus count (traverse (car sons) mark)))
+          (setq sons (cdr sons)))
+        count))))
+
+(build-graph)
+
+(defvar first-count (traverse (getv nodes 0) 1))
+(print first-count)
+
+(defvar total 0)
+(defvar mark 2)
+(while (leq mark 49)
+  (setq total (plus total (traverse (getv nodes (rand nnodes)) mark)))
+  (setq mark (add1 mark)))
+(print total)

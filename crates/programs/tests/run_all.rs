@@ -1,0 +1,87 @@
+//! Functional validation: every benchmark must produce its pinned output under
+//! every tag scheme, both checking modes, and representative hardware configs.
+
+use lisp::{CheckingMode, Options};
+use mipsx::{HwConfig, ParallelCheck};
+use tagword::ALL_SCHEMES;
+
+fn configs() -> Vec<(String, Options)> {
+    let mut v = Vec::new();
+    for scheme in ALL_SCHEMES {
+        for checking in [CheckingMode::None, CheckingMode::Full] {
+            v.push((
+                format!("{scheme}/{checking:?}/plain"),
+                Options::new(scheme, checking),
+            ));
+        }
+    }
+    // Hardware variants on the paper's baseline scheme.
+    let s = tagword::TagScheme::HighTag5;
+    for (name, hw) in [
+        ("tagbr", HwConfig::with_tag_branch()),
+        ("drop", HwConfig::with_address_drop(5)),
+        (
+            "chk-lists",
+            HwConfig::with_parallel_check(ParallelCheck::Lists),
+        ),
+        ("chk-all", HwConfig::with_parallel_check(ParallelCheck::All)),
+        ("genarith", HwConfig::with_generic_arith()),
+        ("maximal", HwConfig::maximal(5)),
+    ] {
+        v.push((
+            format!("high5/Full/{name}"),
+            Options {
+                hw,
+                ..Options::new(s, CheckingMode::Full)
+            },
+        ));
+    }
+    v
+}
+
+#[test]
+fn every_benchmark_everywhere() {
+    for b in programs::all() {
+        for (cname, opts) in configs() {
+            let o = b.run_checked(&opts);
+            assert!(o.stats.cycles > 0, "{} {cname}", b.name);
+        }
+    }
+}
+
+#[test]
+fn dedgc_spends_substantial_time_collecting() {
+    // The paper: "the program spends about 50% of its time in the garbage
+    // collector". Compare dedgc cycles against deduce cycles: the small heap
+    // must add a large GC component.
+    let opts = Options::new(tagword::TagScheme::HighTag5, CheckingMode::None);
+    let base = programs::by_name("deduce").unwrap().run_checked(&opts);
+    let gc = programs::by_name("dedgc").unwrap().run_checked(&opts);
+    let ratio = gc.stats.cycles as f64 / base.stats.cycles as f64;
+    assert!(
+        ratio > 1.2,
+        "dedgc must be much slower than deduce (got {ratio:.2}x: {} vs {})",
+        gc.stats.cycles,
+        base.stats.cycles
+    );
+}
+
+#[test]
+fn workloads_are_simulator_sized() {
+    let opts = Options::new(tagword::TagScheme::HighTag5, CheckingMode::None);
+    for b in programs::all() {
+        let o = b.run_checked(&opts);
+        assert!(
+            o.stats.cycles > 500_000,
+            "{}: too small ({} cycles)",
+            b.name,
+            o.stats.cycles
+        );
+        assert!(
+            o.stats.cycles < 400_000_000,
+            "{}: too large ({} cycles)",
+            b.name,
+            o.stats.cycles
+        );
+    }
+}

@@ -1,0 +1,87 @@
+//! One point in the study's design space.
+
+use std::fmt;
+
+use lisp::{CheckingMode, IntTestMethod, Options};
+use mipsx::HwConfig;
+use tagword::TagScheme;
+
+/// A tag-implementation configuration: scheme × checking mode × hardware (plus
+/// the §3.1 preshifted-tag ablation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Config {
+    /// The tag scheme.
+    pub scheme: TagScheme,
+    /// The checking mode.
+    pub checking: CheckingMode,
+    /// Hardware support.
+    pub hw: HwConfig,
+    /// §3.1 ablation: preshifted pair tag kept in a register.
+    pub preshifted_pair_tag: bool,
+    /// §4.1: the integer-test sequence high-tag schemes emit.
+    pub int_test_method: IntTestMethod,
+}
+
+impl Config {
+    /// A plain-hardware configuration.
+    pub fn new(scheme: TagScheme, checking: CheckingMode) -> Config {
+        Config {
+            scheme,
+            checking,
+            hw: HwConfig::plain(),
+            preshifted_pair_tag: false,
+            int_test_method: IntTestMethod::default(),
+        }
+    }
+
+    /// The paper's baseline: HighTag5 on stock hardware.
+    pub fn baseline(checking: CheckingMode) -> Config {
+        Config::new(TagScheme::HighTag5, checking)
+    }
+
+    /// Replace the hardware.
+    pub fn with_hw(self, hw: HwConfig) -> Config {
+        Config { hw, ..self }
+    }
+
+    /// Convert to compiler options (heap size comes from the benchmark).
+    pub fn to_options(self) -> Options {
+        Options {
+            scheme: self.scheme,
+            hw: self.hw,
+            checking: self.checking,
+            preshifted_pair_tag: self.preshifted_pair_tag,
+            int_test_method: self.int_test_method,
+            ..Options::default()
+        }
+    }
+}
+
+impl fmt::Display for Config {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{:?}", self.scheme, self.checking)?;
+        if self.hw != HwConfig::plain() {
+            write!(f, "/hw")?;
+        }
+        if self.preshifted_pair_tag {
+            write!(f, "/preshift")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_options() {
+        let c = Config::baseline(CheckingMode::Full);
+        assert_eq!(c.to_string(), "high5/Full");
+        let o = c.to_options();
+        assert_eq!(o.scheme, TagScheme::HighTag5);
+        assert_eq!(o.checking, CheckingMode::Full);
+        let c = c.with_hw(HwConfig::with_tag_branch());
+        assert!(c.to_string().ends_with("/hw"));
+    }
+}

@@ -1,0 +1,34 @@
+//! The measurement framework: runs the ten benchmarks under tag-implementation
+//! configurations and regenerates every table and figure of Steenkiste &
+//! Hennessy (ASPLOS 1987).
+//!
+//! The crate is organised around [`Config`] (one point in the study's design
+//! space), [`run_program`]/[`run_all`] (measured, output-validated executions),
+//! and the [`tables`] module, which computes:
+//!
+//! - [`tables::table1`] — execution-time increase from full run-time checking,
+//!   split into arithmetic/vector/list categories;
+//! - [`tables::figure1`] — time spent on tag insertion/removal/extraction/
+//!   checking, with and without run-time checking;
+//! - [`tables::figure2`] — instruction-frequency reduction when tag masking is
+//!   eliminated (and the no-op/squash comeback the paper observes);
+//! - [`tables::table2`] — cycles eliminated by each software/hardware support
+//!   level, including the SPUR comparison of §7;
+//! - [`tables::table3`] — static program statistics;
+//! - [`tables::generic_arith_study_for`] — §4.2/§6.2.2: the arithmetic-safe tag
+//!   encoding, trap hardware, and the wrong-bias float sweep.
+//!
+//! Paper reference values are embedded in [`paper`] so reports can print
+//! side-by-side comparisons.
+
+#![deny(missing_docs)]
+
+mod config;
+mod measure;
+pub mod paper;
+pub mod report;
+pub mod tables;
+
+pub use config::Config;
+pub use lisp::CheckingMode;
+pub use measure::{run_all, run_benchmark, run_program, Measurement, StudyError};

@@ -1,0 +1,160 @@
+//! Output-validated, measured benchmark executions.
+
+use std::fmt;
+
+use lisp::CompileStats;
+use mipsx::Stats;
+use programs::Benchmark;
+
+use crate::config::Config;
+
+/// A failure while measuring (any of these indicates a toolchain bug, since the
+/// benchmarks are fixed inputs).
+#[derive(Debug, Clone)]
+pub enum StudyError {
+    /// No benchmark with that name.
+    UnknownProgram(String),
+    /// Compilation failed.
+    Compile {
+        /// Benchmark name.
+        program: String,
+        /// The compiler's message.
+        message: String,
+    },
+    /// Simulation failed.
+    Sim {
+        /// Benchmark name.
+        program: String,
+        /// The simulator's message.
+        message: String,
+    },
+    /// The program ran but produced the wrong answer under this configuration.
+    WrongOutput {
+        /// Benchmark name.
+        program: String,
+        /// Configuration that produced it.
+        config: String,
+        /// What it printed.
+        got: String,
+    },
+}
+
+impl fmt::Display for StudyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StudyError::UnknownProgram(p) => write!(f, "unknown program {p}"),
+            StudyError::Compile { program, message } => {
+                write!(f, "{program}: compile failed: {message}")
+            }
+            StudyError::Sim { program, message } => write!(f, "{program}: run failed: {message}"),
+            StudyError::WrongOutput {
+                program,
+                config,
+                got,
+            } => {
+                write!(f, "{program} under {config}: wrong output {got:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StudyError {}
+
+/// One measured execution.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Benchmark name.
+    pub program: String,
+    /// Configuration measured.
+    pub config: Config,
+    /// Dynamic statistics.
+    pub stats: Stats,
+    /// Static statistics.
+    pub compile: CompileStats,
+}
+
+/// Compile and run benchmark `b` under `config`, validating its output.
+///
+/// # Errors
+///
+/// [`StudyError`] on compile/run failure or output mismatch.
+pub fn run_benchmark(b: &Benchmark, config: &Config) -> Result<Measurement, StudyError> {
+    let compiled = b
+        .compile(&config.to_options())
+        .map_err(|e| StudyError::Compile {
+            program: b.name.to_string(),
+            message: e.to_string(),
+        })?;
+    let outcome = lisp::run(&compiled, programs::FUEL).map_err(|e| StudyError::Sim {
+        program: b.name.to_string(),
+        message: e.to_string(),
+    })?;
+    if outcome.halt_code != lisp::exit_code::OK || outcome.output != b.expected_output {
+        return Err(StudyError::WrongOutput {
+            program: b.name.to_string(),
+            config: config.to_string(),
+            got: format!("halt={} {:?}", outcome.halt_code, outcome.output),
+        });
+    }
+    Ok(Measurement {
+        program: b.name.to_string(),
+        config: *config,
+        stats: outcome.stats,
+        compile: compiled.stats,
+    })
+}
+
+/// Run a named benchmark under `config`.
+///
+/// # Errors
+///
+/// [`StudyError::UnknownProgram`] plus everything [`run_benchmark`] can raise.
+pub fn run_program(name: &str, config: &Config) -> Result<Measurement, StudyError> {
+    let b = programs::by_name(name).ok_or_else(|| StudyError::UnknownProgram(name.into()))?;
+    run_benchmark(b, config)
+}
+
+/// Run every benchmark under `config`, in table order, in parallel.
+///
+/// # Errors
+///
+/// The first [`StudyError`] encountered.
+pub fn run_all(config: &Config) -> Result<Vec<Measurement>, StudyError> {
+    let benches = programs::all();
+    let mut results: Vec<Option<Result<Measurement, StudyError>>> =
+        benches.iter().map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for b in benches {
+            let cfg = *config;
+            handles.push(scope.spawn(move || run_benchmark(b, &cfg)));
+        }
+        for (slot, h) in results.iter_mut().zip(handles) {
+            *slot = Some(h.join().expect("measurement thread panicked"));
+        }
+    });
+    results
+        .into_iter()
+        .map(|r| r.expect("all slots filled"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lisp::CheckingMode;
+
+    #[test]
+    fn unknown_program_is_an_error() {
+        let e = run_program("nope", &Config::baseline(CheckingMode::None));
+        assert!(matches!(e, Err(StudyError::UnknownProgram(_))));
+    }
+
+    #[test]
+    fn run_program_validates_and_measures() {
+        let m = run_program("frl", &Config::baseline(CheckingMode::None)).unwrap();
+        assert!(m.stats.cycles > 100_000);
+        assert!(m.compile.procedures > 20);
+        assert_eq!(m.program, "frl");
+    }
+}

@@ -1,0 +1,104 @@
+//! The paper's published numbers, for side-by-side comparison in reports.
+//!
+//! Absolute agreement is not expected — the substrate is a re-implemented
+//! simulator and re-implemented workloads — but the *shape* (orderings, rough
+//! magnitudes, crossovers) should hold; EXPERIMENTS.md records both.
+
+/// Table 1: per-program % increase in execution time when full run-time
+/// checking is added: `(name, arith, vector, list, total)`.
+pub const TABLE1: [(&str, f64, f64, f64, f64); 10] = [
+    ("inter", 0.63, 0.00, 19.04, 19.68),
+    ("deduce", 0.09, 0.00, 12.27, 12.36),
+    ("dedgc", 0.04, 0.00, 6.58, 6.62),
+    ("rat", 4.85, 0.00, 13.69, 18.54),
+    ("comp", 0.05, 0.00, 10.34, 10.39),
+    ("opt", 2.68, 11.76, 27.99, 42.43),
+    ("frl", 0.45, 0.00, 9.72, 10.17),
+    ("boyer", 0.00, 0.00, 17.50, 17.50),
+    ("brow", 0.03, 0.00, 19.91, 19.94),
+    ("trav", 3.09, 71.96, 13.19, 88.25),
+];
+
+/// Table 1 averages: (arith, vector, list, total).
+pub const TABLE1_AVG: (f64, f64, f64, f64) = (1.19, 8.37, 15.02, 24.59);
+
+/// Figure 1 (read off the histogram): % of time per tag operation,
+/// `(op, without checking, with full checking)`.
+pub const FIGURE1: [(&str, f64, f64); 4] = [
+    ("insertion", 1.5, 1.2),
+    ("removal", 8.7, 7.0),
+    ("extraction", 4.0, 10.0),
+    ("checking", 11.0, 24.0),
+];
+
+/// Figure 1 summary: total tag-handling cost is between 22% and 32% (§3.5).
+pub const FIGURE1_TOTAL_RANGE: (f64, f64) = (22.0, 32.0);
+
+/// Figure 2: reduction in instruction frequencies when tag masking is
+/// eliminated, in % of execution time: `(class, reduction)` — negative values
+/// are increases (the paper's move/no-op/squash bars).
+pub const FIGURE2: [(&str, f64); 3] = [("and", 8.0), ("move", -1.0), ("noop+squash", -1.3)];
+
+/// Figure 2: net speedup from not masking tags (§5.1).
+pub const FIGURE2_TOTAL: f64 = 5.7;
+
+/// Table 2: % of cycles eliminated, `(row label, no-checking, full-checking)`.
+pub const TABLE2: [(&str, f64, f64); 7] = [
+    ("1 avoid tag masking (software)", 5.7, 4.6),
+    ("2 avoid tag extraction", 3.6, 9.3),
+    ("3 avoid masking and extraction", 9.3, 13.9),
+    ("4 support generic arithmetic", 0.0, 0.7),
+    ("5 avoid tag checking on list ops", 0.0, 16.3),
+    ("6 avoid all error tag checking", 0.0, 18.2),
+    ("7 maximal MIPS-X support", 9.3, 22.1),
+];
+
+/// Table 2 rows 5/6 subrows: `(row, check-none, check-full, mask-none, mask-full)`.
+pub const TABLE2_SUBROWS: [(&str, f64, f64, f64, f64); 2] = [
+    ("5 lists", 0.0, 12.1, 0.0, 4.2),
+    ("6 lists+vectors", 0.0, 13.6, 0.0, 4.6),
+];
+
+/// §7: the SPUR-like configuration eliminates 9–21% of cycles; 4–16% if the
+/// row-1 software scheme is already in use.
+pub const SPUR_RANGE: (f64, f64) = (9.0, 21.0);
+/// See [`SPUR_RANGE`].
+pub const SPUR_OVER_SOFTWARE_RANGE: (f64, f64) = (4.0, 16.0);
+
+/// Table 3: `(program, procedures, source lines, object words)`.
+pub const TABLE3: [(&str, u32, u32, u32); 10] = [
+    ("inter", 64, 710, 1533),
+    ("deduce", 100, 900, 3419),
+    ("dedgc", 116, 1100, 4112),
+    ("rat", 148, 1900, 6315),
+    ("comp", 220, 2400, 9466),
+    ("opt", 226, 3500, 11121),
+    ("frl", 198, 2500, 11802),
+    ("boyer", 84, 1200, 1793),
+    ("brow", 91, 1000, 2296),
+    ("trav", 78, 810, 1673),
+];
+
+/// §3.1: tag insertion costs ~1.5% of time; a preshifted list tag saves ~0.5%.
+pub const INSERTION_PCT: f64 = 1.5;
+/// See [`INSERTION_PCT`].
+pub const PRESHIFT_GAIN_PCT: f64 = 0.5;
+
+/// §4.2: generic arithmetic costs 2% on average (8% for rat) with the plain
+/// encoding, 1.6% with the arithmetic-safe encoding (rat improves ~2%).
+pub const GENERIC_SW_AVG: f64 = 2.0;
+/// See [`GENERIC_SW_AVG`].
+pub const GENERIC_SW_RAT: f64 = 8.0;
+/// See [`GENERIC_SW_AVG`].
+pub const GENERIC_SAFE_AVG: f64 = 1.6;
+/// §6.2.2: hardware generic arithmetic reduces the cost to 1.3%; a type
+/// dispatch on *every* arithmetic operation would add 2.7% on average.
+pub const GENERIC_HW_AVG: f64 = 1.3;
+/// See [`GENERIC_HW_AVG`].
+pub const ALL_DISPATCH_OVERHEAD: f64 = 2.7;
+
+/// §3: adding full run-time checking slows programs down by 25% on average,
+/// ranging from ~6% to ~88%.
+pub const CHECKING_SLOWDOWN_AVG: f64 = 25.0;
+/// See [`CHECKING_SLOWDOWN_AVG`].
+pub const CHECKING_SLOWDOWN_RANGE: (f64, f64) = (6.0, 88.0);

@@ -1,0 +1,312 @@
+//! Plain-text rendering of the study results, paper values alongside.
+
+use std::fmt::Write as _;
+
+use crate::paper;
+use crate::tables::{
+    Figure1, Figure2, GenericArithStudy, IntTestStudy, PreshiftStudy, SchemeComparison, Table1,
+    Table2, Table3Row,
+};
+
+fn hr(out: &mut String, width: usize) {
+    let _ = writeln!(out, "{}", "-".repeat(width));
+}
+
+/// Render Table 1 with the paper's numbers for comparison.
+pub fn render_table1(t: &Table1) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Table 1: % increase in execution time when run-time checking is added"
+    );
+    let _ = writeln!(
+        out,
+        "{:<8} {:>7} {:>7} {:>7} {:>7}   | paper: {:>6} {:>6} {:>6} {:>7}",
+        "program", "arith", "vector", "list", "total", "arith", "vect", "list", "total"
+    );
+    hr(&mut out, 86);
+    for r in &t.rows {
+        let p = paper::TABLE1.iter().find(|(n, ..)| *n == r.program);
+        let _ = write!(
+            out,
+            "{:<8} {:>7.2} {:>7.2} {:>7.2} {:>7.2}   |",
+            r.program, r.arith, r.vector, r.list, r.total
+        );
+        if let Some((_, a, v, l, tt)) = p {
+            let _ = writeln!(out, "        {a:>6.2} {v:>6.2} {l:>6.2} {tt:>7.2}");
+        } else {
+            let _ = writeln!(out);
+        }
+    }
+    hr(&mut out, 86);
+    let a = &t.average;
+    let (pa, pv, pl, pt) = paper::TABLE1_AVG;
+    let _ = writeln!(
+        out,
+        "{:<8} {:>7.2} {:>7.2} {:>7.2} {:>7.2}   |        {pa:>6.2} {pv:>6.2} {pl:>6.2} {pt:>7.2}",
+        "average", a.arith, a.vector, a.list, a.total
+    );
+    out
+}
+
+/// Render Figure 1.
+pub fn render_figure1(f: &Figure1) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Figure 1: % of time spent on tag handling operations");
+    let _ = writeln!(
+        out,
+        "{:<11} {:>9} {:>10} {:>10} {:>10}   | paper: {:>8} {:>8}",
+        "operation", "w/o chk", "base part", "added", "with chk", "w/o", "with"
+    );
+    hr(&mut out, 90);
+    for e in &f.entries {
+        let name = format!("{:?}", e.op).to_lowercase();
+        let p = paper::FIGURE1
+            .iter()
+            .find(|(n, ..)| name.starts_with(&n[..4.min(n.len())]));
+        let _ = write!(
+            out,
+            "{:<11} {:>9.2} {:>10.2} {:>10.2} {:>10.2}   |",
+            name,
+            e.without,
+            e.with_base,
+            e.with_added,
+            e.with_total()
+        );
+        if let Some((_, w, c)) = p {
+            let _ = writeln!(out, "         {w:>8.1} {c:>8.1}");
+        } else {
+            let _ = writeln!(out);
+        }
+    }
+    hr(&mut out, 90);
+    let _ = writeln!(
+        out,
+        "{:<11} {:>9.2} {:>31.2}   |  paper total range: {:.0}%..{:.0}%",
+        "total",
+        f.total_without,
+        f.total_with,
+        paper::FIGURE1_TOTAL_RANGE.0,
+        paper::FIGURE1_TOTAL_RANGE.1
+    );
+    out
+}
+
+/// Render Figure 2.
+pub fn render_figure2(f: &Figure2) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Figure 2: reduction in instruction frequencies when tag masking is eliminated"
+    );
+    let _ = writeln!(
+        out,
+        "(positive = instructions removed; negative = new waste)"
+    );
+    let rows = [
+        ("and", f.and_, Some(8.0)),
+        ("move", f.mov, Some(-1.0)),
+        ("noop", f.noop, None),
+        ("squash", f.squash, None),
+        ("total", f.total, Some(paper::FIGURE2_TOTAL)),
+    ];
+    for (name, v, p) in rows {
+        match p {
+            Some(p) => {
+                let _ = writeln!(out, "  {name:<8} {v:>7.2}%   (paper ~{p:>5.1}%)");
+            }
+            None => {
+                let _ = writeln!(out, "  {name:<8} {v:>7.2}%");
+            }
+        }
+    }
+    out
+}
+
+/// Render Table 2.
+pub fn render_table2(t: &Table2) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Table 2: % of cycles eliminated by each support level");
+    let _ = writeln!(
+        out,
+        "{:<36} {:>9} {:>9}   | paper: {:>6} {:>6}",
+        "support", "no chk", "full chk", "none", "full"
+    );
+    hr(&mut out, 84);
+    for (i, r) in t.rows.iter().enumerate() {
+        let p = paper::TABLE2.get(i);
+        let _ = write!(
+            out,
+            "{:<36} {:>8.2}% {:>8.2}%   |",
+            r.label, r.none_pct, r.full_pct
+        );
+        if let Some((_, pn, pf)) = p {
+            let _ = writeln!(out, "        {pn:>5.1}% {pf:>5.1}%");
+        } else {
+            let _ = writeln!(out);
+        }
+        if let Some((cn, cf, mn, mf)) = r.split {
+            let _ = writeln!(
+                out,
+                "{:<36} {cn:>8.2}% {cf:>8.2}%   |  (paper: check 0/{:.1})",
+                "    · checking cycles removed",
+                if i == 4 { 12.1 } else { 13.6 }
+            );
+            let _ = writeln!(
+                out,
+                "{:<36} {mn:>8.2}% {mf:>8.2}%   |  (paper: mask  0/{:.1})",
+                "    · masking cycles removed",
+                if i == 4 { 4.2 } else { 4.6 }
+            );
+        }
+    }
+    hr(&mut out, 84);
+    let _ = writeln!(
+        out,
+        "{:<36} {:>8.2}% {:>8.2}%   |  paper range {:.0}–{:.0}%",
+        t.spur.label,
+        t.spur.none_pct,
+        t.spur.full_pct,
+        paper::SPUR_RANGE.0,
+        paper::SPUR_RANGE.1
+    );
+    let _ = writeln!(
+        out,
+        "{:<36} {:>8.2}% {:>8.2}%   |  paper range {:.0}–{:.0}%",
+        t.spur_over_software.label,
+        t.spur_over_software.none_pct,
+        t.spur_over_software.full_pct,
+        paper::SPUR_OVER_SOFTWARE_RANGE.0,
+        paper::SPUR_OVER_SOFTWARE_RANGE.1
+    );
+    out
+}
+
+/// Render Table 3.
+pub fn render_table3(rows: &[Table3Row]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Table 3: program statistics");
+    let _ = writeln!(
+        out,
+        "{:<8} {:>10} {:>8} {:>10}   | paper: {:>6} {:>6} {:>7}",
+        "program", "procs", "lines", "obj words", "procs", "lines", "words"
+    );
+    hr(&mut out, 78);
+    for r in rows {
+        let p = paper::TABLE3.iter().find(|(n, ..)| *n == r.program);
+        let _ = write!(
+            out,
+            "{:<8} {:>10} {:>8} {:>10}   |",
+            r.program, r.procedures, r.source_lines, r.object_words
+        );
+        if let Some((_, pp, pl, pw)) = p {
+            let _ = writeln!(out, "        {pp:>6} {pl:>6} {pw:>7}");
+        } else {
+            let _ = writeln!(out);
+        }
+    }
+    out
+}
+
+/// Render the §3.1 ablation.
+pub fn render_preshift(p: &PreshiftStudy) -> String {
+    format!(
+        "§3.1 tag insertion: {:.2}% of time (paper ~{:.1}%); preshifted pair tag saves {:.2}% (paper ~{:.1}%)\n",
+        p.insertion_pct,
+        paper::INSERTION_PCT,
+        p.speedup_pct,
+        paper::PRESHIFT_GAIN_PCT
+    )
+}
+
+/// Render the generic-arithmetic study.
+pub fn render_generic(g: &GenericArithStudy) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "§4.2/§6.2.2 generic arithmetic (share of checked-run time)"
+    );
+    let _ = writeln!(
+        out,
+        "  integer-biased software (high5): avg {:>5.2}%  rat {:>5.2}%   (paper: {:.1}% / {:.1}%)",
+        g.sw_avg,
+        g.sw_rat,
+        paper::GENERIC_SW_AVG,
+        paper::GENERIC_SW_RAT
+    );
+    let _ = writeln!(
+        out,
+        "  arithmetic-safe encoding (high6): avg {:>5.2}%  rat {:>5.2}%   (paper avg: {:.1}%)",
+        g.safe_avg,
+        g.safe_rat,
+        paper::GENERIC_SAFE_AVG
+    );
+    let _ = writeln!(
+        out,
+        "  trap hardware:                    avg {:>5.2}%             (paper avg: {:.1}%)",
+        g.hw_avg,
+        paper::GENERIC_HW_AVG
+    );
+    let _ = writeln!(
+        out,
+        "  wrong-bias float sweep: software dispatch {:.1}% of time; trap hardware {:.1}%",
+        g.wrong_bias_sw, g.wrong_bias_hw
+    );
+    let _ = writeln!(
+        out,
+        "  trap hardware / software total-cycle ratio: {:.2}x  (paper §6.2.2: traps should lose — measured {})",
+        g.wrong_bias_hw_over_sw,
+        if g.wrong_bias_hw_over_sw > 1.0 { "yes" } else { "no" }
+    );
+    out
+}
+
+/// Render the §4.1 integer-test comparison.
+pub fn render_int_test(s: &IntTestStudy) -> String {
+    format!(
+        "\u{a7}4.1 integer-test methods: tag-compare (method 1) vs sign-extend (method 2): \
+         {:+.2}% cycles (positive favours method 1; the paper: 'it depends on the sign')\n",
+        s.tag_compare_saves
+    )
+}
+
+/// Render the scheme head-to-head (extension).
+pub fn render_schemes(s: &SchemeComparison) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Scheme comparison: % cycles saved vs HighTag5 baseline"
+    );
+    for (scheme, none, full) in &s.rows {
+        let _ = writeln!(
+            out,
+            "  {scheme:<7} no-check {none:>6.2}%   full-check {full:>6.2}%"
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tables::{Table1, Table1Row};
+
+    #[test]
+    fn table1_renders_with_paper_columns() {
+        let row = Table1Row {
+            program: "trav".into(),
+            arith: 1.0,
+            vector: 50.0,
+            list: 10.0,
+            total: 61.0,
+        };
+        let t = Table1 {
+            rows: vec![row.clone()],
+            average: row,
+        };
+        let s = render_table1(&t);
+        assert!(s.contains("trav"));
+        assert!(s.contains("71.96"), "paper value shown");
+        assert!(s.contains("average"));
+    }
+}

@@ -1,0 +1,102 @@
+//! Shape assertions on a small program subset: the orderings the paper's
+//! conclusions rest on must hold for any representative workload mix.
+
+use mipsx::{HwConfig, ParallelCheck};
+use tagstudy::tables;
+use tagstudy::{run_program, CheckingMode, Config};
+
+const SET: &[&str] = &["deduce", "trav", "boyer"];
+
+#[test]
+fn support_levels_never_hurt_and_max_wins() {
+    let base: u64 = SET
+        .iter()
+        .map(|n| {
+            run_program(n, &Config::baseline(CheckingMode::Full))
+                .unwrap()
+                .stats
+                .cycles
+        })
+        .sum();
+    let mut cycles = Vec::new();
+    for hw in [
+        HwConfig::with_address_drop(5),
+        HwConfig::with_tag_branch(),
+        HwConfig::with_generic_arith(),
+        HwConfig::with_parallel_check(ParallelCheck::Lists),
+        HwConfig::with_parallel_check(ParallelCheck::All),
+        HwConfig::maximal(5),
+    ] {
+        let c: u64 = SET
+            .iter()
+            .map(|n| {
+                run_program(n, &Config::baseline(CheckingMode::Full).with_hw(hw))
+                    .unwrap()
+                    .stats
+                    .cycles
+            })
+            .sum();
+        assert!(c <= base, "{hw:?} must not slow programs down");
+        cycles.push(c);
+    }
+    let maximal = *cycles.last().unwrap();
+    assert!(
+        cycles.iter().all(|&c| maximal <= c),
+        "row 7 dominates every other row"
+    );
+    // parallel All beats parallel Lists, which beats tag-branch alone
+    assert!(cycles[4] <= cycles[3]);
+    assert!(cycles[3] < cycles[1]);
+}
+
+#[test]
+fn figure2_shape_on_subset() {
+    let f = tables::figure2_for(SET).expect("measures");
+    assert!(f.and_ > 0.5, "masking ands removed");
+    assert!(
+        f.total > 0.0 && f.total <= f.and_ + 0.5,
+        "net win bounded by and reduction"
+    );
+}
+
+#[test]
+fn checking_is_never_free() {
+    for name in SET {
+        let none = run_program(name, &Config::baseline(CheckingMode::None)).unwrap();
+        let full = run_program(name, &Config::baseline(CheckingMode::Full)).unwrap();
+        let pct = 100.0 * (full.stats.cycles - none.stats.cycles) as f64 / none.stats.cycles as f64;
+        assert!(
+            (5.0..150.0).contains(&pct),
+            "{name}: slowdown {pct:.1}% out of plausible range"
+        );
+    }
+}
+
+#[test]
+fn low_tags_beat_high_tags_without_hardware() {
+    // The paper's software conclusion on this subset.
+    for checking in [CheckingMode::None, CheckingMode::Full] {
+        let high: u64 = SET
+            .iter()
+            .map(|n| {
+                run_program(n, &Config::new(tagword::TagScheme::HighTag5, checking))
+                    .unwrap()
+                    .stats
+                    .cycles
+            })
+            .sum();
+        let low: u64 = SET
+            .iter()
+            .map(|n| {
+                run_program(n, &Config::new(tagword::TagScheme::LowTag3, checking))
+                    .unwrap()
+                    .stats
+                    .cycles
+            })
+            .sum();
+        assert!(
+            low < high,
+            "{checking:?}: low tags must win ({low} vs {high})"
+        );
+    }
+}

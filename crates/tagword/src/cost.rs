@@ -1,0 +1,235 @@
+//! An analytical cycle-cost model for tag operations.
+//!
+//! The real measurements in this repository come from running compiled code on the
+//! `mipsx` simulator; this module is the back-of-the-envelope companion: the
+//! per-operation cycle counts the paper quotes for a MIPS-X-class RISC, exposed so
+//! that users of `tagword` alone can estimate tag-handling budgets.
+
+use crate::scheme::TagScheme;
+use crate::tag::Tag;
+
+/// The four primitive tag operations of the paper (§2.1), plus the composite
+/// generic-arithmetic operation of §4.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TagOp {
+    /// Construct a tagged item from data and a tag value.
+    Insert,
+    /// Clear the tag to obtain a usable pointer or datum.
+    Remove,
+    /// Clear the tag specifically to form a memory address (may be free).
+    RemoveForAddress,
+    /// Isolate the tag value for inspection.
+    Extract,
+    /// Extraction plus comparison with a known tag value plus branch.
+    CheckExact,
+    /// The integer test (asymmetric under high-tag schemes, §4.1).
+    CheckInt,
+    /// A full integer-biased generic add: type checks, overflow check, add (§4.2).
+    GenericAdd,
+}
+
+/// All tag operations, in report order.
+pub const ALL_OPS: [TagOp; 7] = [
+    TagOp::Insert,
+    TagOp::Remove,
+    TagOp::RemoveForAddress,
+    TagOp::Extract,
+    TagOp::CheckExact,
+    TagOp::CheckInt,
+    TagOp::GenericAdd,
+];
+
+/// The cycle cost of one tag operation under one scheme.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpCost {
+    /// Cycles when the operand is an integer (integers are special-cased by every
+    /// scheme in this crate).
+    pub int_cycles: u32,
+    /// Cycles for any other type.
+    pub other_cycles: u32,
+}
+
+impl OpCost {
+    /// Uniform cost regardless of operand type.
+    pub const fn uniform(c: u32) -> Self {
+        OpCost {
+            int_cycles: c,
+            other_cycles: c,
+        }
+    }
+}
+
+/// Cycle-cost model for a scheme on a plain RISC (no tag hardware).
+///
+/// ```
+/// use tagword::{CostModel, TagScheme, TagOp};
+/// let m = CostModel::plain(TagScheme::HighTag5);
+/// // Paper §3.1: inserting a tag costs two cycles (shift + or), zero for integers.
+/// assert_eq!(m.cost(TagOp::Insert).other_cycles, 2);
+/// assert_eq!(m.cost(TagOp::Insert).int_cycles, 0);
+/// // Paper §4.2: a generic integer add takes 10 cycles.
+/// assert_eq!(m.cost(TagOp::GenericAdd).int_cycles, 10);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CostModel {
+    scheme: TagScheme,
+}
+
+impl CostModel {
+    /// Cost model for `scheme` with no hardware tag support.
+    pub fn plain(scheme: TagScheme) -> Self {
+        CostModel { scheme }
+    }
+
+    /// The scheme this model describes.
+    pub fn scheme(&self) -> TagScheme {
+        self.scheme
+    }
+
+    /// Cycles for `op` under this scheme.
+    pub fn cost(&self, op: TagOp) -> OpCost {
+        use TagOp::*;
+        use TagScheme::*;
+        match (self.scheme, op) {
+            // §3.1: shift tag into place + or; integers need none by construction.
+            (HighTag5 | HighTag6, Insert) => OpCost {
+                int_cycles: 0,
+                other_cycles: 2,
+            },
+            // Low tags: or-in a small constant (pointer comes back aligned from the
+            // allocator); integers shift left by 2.
+            (LowTag2 | LowTag3, Insert) => OpCost::uniform(1),
+
+            // §3.2: mask with a register-resident mask; integers are their own rep.
+            (HighTag5 | HighTag6, Remove) => OpCost {
+                int_cycles: 0,
+                other_cycles: 1,
+            },
+            (LowTag2 | LowTag3, Remove) => OpCost {
+                int_cycles: 1,
+                other_cycles: 1,
+            },
+
+            // §5: using the item as an address. High tags must mask; low tags are
+            // dropped by word alignment / folded into the displacement.
+            (HighTag5 | HighTag6, RemoveForAddress) => OpCost {
+                int_cycles: 0,
+                other_cycles: 1,
+            },
+            (LowTag2 | LowTag3, RemoveForAddress) => OpCost::uniform(0),
+
+            // §3.3: one logical shift (high) or one and-immediate (low).
+            (_, Extract) => OpCost::uniform(1),
+
+            // §3.4: extraction + compare(+branch). We count compare+branch as one
+            // cycle here; unused delay slots are a property of scheduling, measured
+            // by the simulator rather than modelled analytically.
+            (_, CheckExact) => OpCost::uniform(2),
+
+            // §4.1: high-tag integer test = sign-extend (2 shifts) + compare = 3.
+            (HighTag5 | HighTag6, CheckInt) => OpCost::uniform(3),
+            // Low tags: and-immediate + compare = 2.
+            (LowTag2 | LowTag3, CheckInt) => OpCost::uniform(2),
+
+            // §4.2: 9 cycles of type+overflow checking + 1 add under the plain
+            // high-tag encoding; the arithmetic-safe encoding folds everything into
+            // one check on the result (add + 3-cycle integer test).
+            (HighTag5, GenericAdd) => OpCost {
+                int_cycles: 10,
+                other_cycles: 10,
+            },
+            (HighTag6, GenericAdd) => OpCost {
+                int_cycles: 4,
+                other_cycles: 10,
+            },
+            // Low tags: two 2-cycle integer tests + overflow-check-as-type-test + add.
+            (LowTag2 | LowTag3, GenericAdd) => OpCost {
+                int_cycles: 7,
+                other_cycles: 10,
+            },
+        }
+    }
+
+    /// Cycles to type-check an item expected to be of type `tag`.
+    ///
+    /// Escape-encoded types under the low-tag schemes cost an extra header load and
+    /// compare (the price §5.2 pays for keeping only 2–3 tag bits).
+    pub fn check_cost(&self, tag: Tag) -> u32 {
+        if tag == Tag::Int {
+            return self.cost(TagOp::CheckInt).int_cycles;
+        }
+        let base = self.cost(TagOp::CheckExact).other_cycles;
+        if self.scheme.has_exact_tag(tag) {
+            base
+        } else {
+            // escape check + header load + header compare
+            base + 2
+        }
+    }
+
+    /// Estimated tag-handling cycles for a workload profile: counts of each tag
+    /// operation executed. Useful for quick what-if analysis without a simulation.
+    pub fn estimate<'a, I>(&self, ops: I) -> u64
+    where
+        I: IntoIterator<Item = &'a (TagOp, u64)>,
+    {
+        ops.into_iter()
+            .map(|&(op, n)| u64::from(self.cost(op).other_cycles) * n)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheme::ALL_SCHEMES;
+
+    #[test]
+    fn low_tag_address_masking_is_free() {
+        for s in [TagScheme::LowTag2, TagScheme::LowTag3] {
+            let m = CostModel::plain(s);
+            assert_eq!(m.cost(TagOp::RemoveForAddress), OpCost::uniform(0));
+        }
+        let m = CostModel::plain(TagScheme::HighTag5);
+        assert_eq!(m.cost(TagOp::RemoveForAddress).other_cycles, 1);
+    }
+
+    #[test]
+    fn arith_safe_encoding_speeds_up_generic_add() {
+        let plain = CostModel::plain(TagScheme::HighTag5);
+        let safe = CostModel::plain(TagScheme::HighTag6);
+        assert!(safe.cost(TagOp::GenericAdd).int_cycles < plain.cost(TagOp::GenericAdd).int_cycles);
+        // but the non-integer path is no better
+        assert_eq!(
+            safe.cost(TagOp::GenericAdd).other_cycles,
+            plain.cost(TagOp::GenericAdd).other_cycles
+        );
+    }
+
+    #[test]
+    fn escape_types_cost_more_to_check() {
+        let m = CostModel::plain(TagScheme::LowTag2);
+        assert!(m.check_cost(Tag::Vector) > m.check_cost(Tag::Pair));
+        let m3 = CostModel::plain(TagScheme::LowTag3);
+        assert_eq!(m3.check_cost(Tag::Vector), m3.check_cost(Tag::Pair));
+        assert!(m3.check_cost(Tag::Str) > m3.check_cost(Tag::Pair));
+    }
+
+    #[test]
+    fn estimate_sums_costs() {
+        let m = CostModel::plain(TagScheme::HighTag5);
+        let profile = [(TagOp::Insert, 10u64), (TagOp::Remove, 5)];
+        assert_eq!(m.estimate(&profile), 2 * 10 + 5);
+    }
+
+    #[test]
+    fn every_op_has_a_cost_under_every_scheme() {
+        for s in ALL_SCHEMES {
+            let m = CostModel::plain(s);
+            for op in ALL_OPS {
+                // must not panic; cost is bounded by the 10-cycle generic add
+                assert!(m.cost(op).other_cycles <= 10);
+            }
+        }
+    }
+}

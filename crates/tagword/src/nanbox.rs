@@ -1,0 +1,242 @@
+//! 64-bit NaN boxing.
+//!
+//! The 64-bit descendant of the paper's software tagging: every value lives in the
+//! payload space of quiet IEEE-754 NaNs, so floats are unboxed and everything else is
+//! a tagged 48-bit payload. This module implements a self-contained [`NanBox`] over
+//! floats, 32-bit integers, booleans, nil, and raw 48-bit "pointer" payloads.
+//!
+//! ```
+//! use tagword::nanbox::NanBox;
+//!
+//! let f = NanBox::from_f64(1.5);
+//! assert_eq!(f.as_f64(), Some(1.5));
+//! let i = NanBox::from_i32(-7);
+//! assert_eq!(i.as_i32(), Some(-7));
+//! assert!(NanBox::from_f64(f64::NAN).as_f64().unwrap().is_nan());
+//! ```
+
+use std::fmt;
+
+/// Canonical quiet NaN with zero payload; real NaNs are normalised to this so the
+/// payload space is free for boxing.
+const CANONICAL_NAN: u64 = 0x7FF8_0000_0000_0000;
+/// Boxed (non-float) values set the top 13 bits (sign + exponent + quiet bit) plus a
+/// 3-bit type code at bits 50..48, leaving a 48-bit payload.
+const BOX_BASE: u64 = 0xFFF8_0000_0000_0000;
+const TYPE_SHIFT: u32 = 48;
+const PAYLOAD_MASK: u64 = (1 << 48) - 1;
+
+const TYPE_INT: u64 = 1;
+const TYPE_BOOL: u64 = 2;
+const TYPE_NIL: u64 = 3;
+const TYPE_PTR: u64 = 4;
+
+/// The dynamic type of a [`NanBox`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NanBoxKind {
+    /// An unboxed `f64` (any non-reserved bit pattern).
+    Float,
+    /// A boxed `i32`.
+    Int,
+    /// A boxed boolean.
+    Bool,
+    /// The nil/unit value.
+    Nil,
+    /// A 48-bit pointer payload.
+    Ptr,
+}
+
+/// A 64-bit NaN-boxed dynamic value.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct NanBox(u64);
+
+impl NanBox {
+    /// Box a float. NaNs are canonicalised so they can never collide with boxed
+    /// payloads.
+    pub fn from_f64(v: f64) -> Self {
+        if v.is_nan() {
+            NanBox(CANONICAL_NAN)
+        } else {
+            NanBox(v.to_bits())
+        }
+    }
+
+    /// Box a 32-bit integer.
+    pub fn from_i32(v: i32) -> Self {
+        NanBox(BOX_BASE | (TYPE_INT << TYPE_SHIFT) | u64::from(v as u32))
+    }
+
+    /// Box a boolean.
+    pub fn from_bool(v: bool) -> Self {
+        NanBox(BOX_BASE | (TYPE_BOOL << TYPE_SHIFT) | u64::from(v))
+    }
+
+    /// The nil value.
+    pub fn nil() -> Self {
+        NanBox(BOX_BASE | (TYPE_NIL << TYPE_SHIFT))
+    }
+
+    /// Box a 48-bit pointer payload.
+    ///
+    /// # Errors
+    ///
+    /// Returns `None` if `p` does not fit in 48 bits (the practical user-space
+    /// virtual-address width on the 64-bit platforms NaN boxing targets).
+    pub fn from_ptr_bits(p: u64) -> Option<Self> {
+        if p & !PAYLOAD_MASK != 0 {
+            return None;
+        }
+        Some(NanBox(BOX_BASE | (TYPE_PTR << TYPE_SHIFT) | p))
+    }
+
+    fn is_boxed(self) -> bool {
+        self.0 & BOX_BASE == BOX_BASE && self.0 != BOX_BASE
+    }
+
+    fn type_code(self) -> u64 {
+        (self.0 >> TYPE_SHIFT) & 0b111
+    }
+
+    /// The dynamic type of this value.
+    pub fn kind(self) -> NanBoxKind {
+        if !self.is_boxed() {
+            return NanBoxKind::Float;
+        }
+        match self.type_code() {
+            TYPE_INT => NanBoxKind::Int,
+            TYPE_BOOL => NanBoxKind::Bool,
+            TYPE_NIL => NanBoxKind::Nil,
+            TYPE_PTR => NanBoxKind::Ptr,
+            _ => NanBoxKind::Float,
+        }
+    }
+
+    /// The float, if this is a float.
+    pub fn as_f64(self) -> Option<f64> {
+        (self.kind() == NanBoxKind::Float).then(|| f64::from_bits(self.0))
+    }
+
+    /// The integer, if this is a boxed `i32`.
+    pub fn as_i32(self) -> Option<i32> {
+        (self.kind() == NanBoxKind::Int).then_some((self.0 & 0xFFFF_FFFF) as u32 as i32)
+    }
+
+    /// The boolean, if this is a boxed bool.
+    pub fn as_bool(self) -> Option<bool> {
+        (self.kind() == NanBoxKind::Bool).then_some(self.0 & 1 == 1)
+    }
+
+    /// Whether this is nil.
+    pub fn is_nil(self) -> bool {
+        self.kind() == NanBoxKind::Nil
+    }
+
+    /// The pointer payload, if this is a boxed pointer.
+    pub fn as_ptr_bits(self) -> Option<u64> {
+        (self.kind() == NanBoxKind::Ptr).then_some(self.0 & PAYLOAD_MASK)
+    }
+
+    /// Raw bit pattern (for tests and FFI).
+    pub fn to_bits(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Debug for NanBox {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.kind() {
+            NanBoxKind::Float => write!(f, "NanBox({})", f64::from_bits(self.0)),
+            NanBoxKind::Int => write!(f, "NanBox({})", self.as_i32().unwrap()),
+            NanBoxKind::Bool => write!(f, "NanBox({})", self.as_bool().unwrap()),
+            NanBoxKind::Nil => write!(f, "NanBox(nil)"),
+            NanBoxKind::Ptr => write!(f, "NanBox(ptr {:#x})", self.as_ptr_bits().unwrap()),
+        }
+    }
+}
+
+impl From<f64> for NanBox {
+    fn from(v: f64) -> Self {
+        NanBox::from_f64(v)
+    }
+}
+
+impl From<i32> for NanBox {
+    fn from(v: i32) -> Self {
+        NanBox::from_i32(v)
+    }
+}
+
+impl From<bool> for NanBox {
+    fn from(v: bool) -> Self {
+        NanBox::from_bool(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn float_round_trip() {
+        for v in [
+            0.0,
+            -0.0,
+            1.5,
+            -1e300,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            f64::MIN_POSITIVE,
+        ] {
+            let b = NanBox::from_f64(v);
+            assert_eq!(b.kind(), NanBoxKind::Float);
+            assert_eq!(b.as_f64(), Some(v));
+        }
+    }
+
+    #[test]
+    fn nan_is_canonicalised_but_stays_nan() {
+        let b = NanBox::from_f64(f64::NAN);
+        assert_eq!(b.kind(), NanBoxKind::Float);
+        assert!(b.as_f64().unwrap().is_nan());
+        // A NaN with a poisoned payload must not decode as a boxed value.
+        let evil = f64::from_bits(BOX_BASE | (TYPE_INT << TYPE_SHIFT) | 42);
+        let b = NanBox::from_f64(evil);
+        assert_eq!(b.kind(), NanBoxKind::Float);
+    }
+
+    #[test]
+    fn int_round_trip() {
+        for v in [0, 1, -1, i32::MAX, i32::MIN] {
+            let b = NanBox::from_i32(v);
+            assert_eq!(b.kind(), NanBoxKind::Int);
+            assert_eq!(b.as_i32(), Some(v));
+            assert_eq!(b.as_f64(), None);
+        }
+    }
+
+    #[test]
+    fn bool_nil_ptr() {
+        assert_eq!(NanBox::from_bool(true).as_bool(), Some(true));
+        assert_eq!(NanBox::from_bool(false).as_bool(), Some(false));
+        assert!(NanBox::nil().is_nil());
+        let p = NanBox::from_ptr_bits(0xdead_beef).unwrap();
+        assert_eq!(p.as_ptr_bits(), Some(0xdead_beef));
+        assert!(NanBox::from_ptr_bits(1 << 48).is_none());
+    }
+
+    #[test]
+    fn kinds_are_disjoint() {
+        let vals = [
+            NanBox::from_f64(3.25),
+            NanBox::from_i32(3),
+            NanBox::from_bool(true),
+            NanBox::nil(),
+            NanBox::from_ptr_bits(64).unwrap(),
+        ];
+        for (i, a) in vals.iter().enumerate() {
+            for (j, b) in vals.iter().enumerate() {
+                assert_eq!(i == j, a == b, "{a:?} vs {b:?}");
+            }
+        }
+    }
+}

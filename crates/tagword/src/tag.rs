@@ -1,0 +1,123 @@
+//! The abstract data-type tags used by the Lisp system.
+
+use std::fmt;
+
+/// The dynamic type of a Lisp item, independent of how a [`TagScheme`] encodes it.
+///
+/// These are the "data objects most actively used" per the paper (§2.2): numbers,
+/// symbols, lists and vectors, plus the handful of auxiliary types any real system
+/// needs (floats, strings, compiled code, characters). Structures and strings are
+/// implemented on top of vectors, as in PSL.
+///
+/// [`TagScheme`]: crate::TagScheme
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Tag {
+    /// A small (fixnum) integer. Positive and negative integers may have distinct
+    /// encodings under a given scheme, but both map to this tag.
+    Int,
+    /// A cons cell (list node).
+    Pair,
+    /// An interned symbol.
+    Symbol,
+    /// A heap vector (also the substrate for structures and strings).
+    Vector,
+    /// A boxed floating-point number.
+    Float,
+    /// A string (byte vector).
+    Str,
+    /// A compiled code object / function entry point.
+    Code,
+    /// A character.
+    Char,
+}
+
+/// All tags, in a fixed order convenient for tables and exhaustive tests.
+pub const ALL_TAGS: [Tag; 8] = [
+    Tag::Int,
+    Tag::Pair,
+    Tag::Symbol,
+    Tag::Vector,
+    Tag::Float,
+    Tag::Str,
+    Tag::Code,
+    Tag::Char,
+];
+
+impl Tag {
+    /// Whether items of this type carry immediate data (no heap pointer).
+    ///
+    /// ```
+    /// use tagword::Tag;
+    /// assert!(Tag::Int.is_immediate());
+    /// assert!(!Tag::Pair.is_immediate());
+    /// ```
+    pub fn is_immediate(self) -> bool {
+        matches!(self, Tag::Int | Tag::Char)
+    }
+
+    /// Whether the data part of items of this type is used as a memory address.
+    ///
+    /// Per paper §5.1, the data part of most Lisp objects is a pointer and "will
+    /// always be used as an address"; the exceptions are integers and characters
+    /// (immediates) — and symbols, which are compared or used as a table index.
+    pub fn is_pointer(self) -> bool {
+        !self.is_immediate()
+    }
+
+    /// A short lowercase name, used in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Tag::Int => "int",
+            Tag::Pair => "pair",
+            Tag::Symbol => "symbol",
+            Tag::Vector => "vector",
+            Tag::Float => "float",
+            Tag::Str => "string",
+            Tag::Code => "code",
+            Tag::Char => "char",
+        }
+    }
+}
+
+impl fmt::Display for Tag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_tags_are_distinct() {
+        for (i, a) in ALL_TAGS.iter().enumerate() {
+            for b in &ALL_TAGS[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn immediates_are_not_pointers() {
+        for t in ALL_TAGS {
+            assert_ne!(t.is_immediate(), t.is_pointer());
+        }
+    }
+
+    #[test]
+    fn names_are_unique_and_nonempty() {
+        let mut names: Vec<_> = ALL_TAGS.iter().map(|t| t.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), ALL_TAGS.len());
+        assert!(names.iter().all(|n| !n.is_empty()));
+    }
+
+    #[test]
+    fn display_matches_name() {
+        for t in ALL_TAGS {
+            assert_eq!(t.to_string(), t.name());
+        }
+    }
+}

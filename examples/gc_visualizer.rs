@@ -1,0 +1,56 @@
+//! GC pressure visualizer: run the deductive retriever with shrinking
+//! semispaces and watch the copying collector eat the cycle budget — the
+//! `dedgc` phenomenon from the paper's benchmark table.
+//!
+//! Run with: `cargo run --release --example gc_visualizer`
+
+use tags_repro::lisp::{self, Options};
+
+fn main() {
+    let b = tags_repro::programs::by_name("deduce").expect("deduce exists");
+    let sizes: [u32; 7] = [
+        768 << 10,
+        256 << 10,
+        64 << 10,
+        32 << 10,
+        24 << 10,
+        20 << 10,
+        19 << 10,
+    ];
+
+    println!("deduce under shrinking semispaces (no run-time checking):\n");
+    println!(
+        "{:>9} {:>12} {:>9}  relative time",
+        "semispace", "cycles", "overhead"
+    );
+    let mut base = None;
+    for semi in sizes {
+        let opts = Options {
+            heap_semi_bytes: semi,
+            ..Options::default()
+        };
+        let compiled = lisp::compile(b.source, &opts).expect("compiles");
+        match lisp::run(&compiled, 2_000_000_000) {
+            Ok(o) if o.halt_code == 0 => {
+                let b0 = *base.get_or_insert(o.stats.cycles);
+                let over = 100.0 * (o.stats.cycles as f64 - b0 as f64) / b0 as f64;
+                let bar = "#".repeat((o.stats.cycles * 48 / (b0 * 2)) as usize);
+                println!(
+                    "{:>8}K {:>12} {over:>8.1}%  {bar}",
+                    semi >> 10,
+                    o.stats.cycles
+                );
+            }
+            Ok(o) => println!("{:>8}K  out of memory (exit {})", semi >> 10, o.halt_code),
+            Err(e) => println!("{:>8}K  simulation error: {e}", semi >> 10),
+        }
+    }
+    println!(
+        "\nAll the extra cycles are the copying collector running inside the\n\
+         simulation; `dedgc` in the benchmark suite pins the semispace at {}K.",
+        tags_repro::programs::by_name("dedgc")
+            .unwrap()
+            .heap_semi_bytes
+            >> 10
+    );
+}

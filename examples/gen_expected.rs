@@ -1,0 +1,44 @@
+use std::fs;
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let only: Option<&str> = args.get(1).map(|s| s.as_str());
+    let cases = [
+        ("inter", "inter.lisp", 768u32 << 10),
+        ("deduce", "deduce.lisp", 768 << 10),
+        ("rat", "rat.lisp", 768 << 10),
+        ("comp", "comp.lisp", 768 << 10),
+        ("opt", "opt.lisp", 768 << 10),
+        ("frl", "frl.lisp", 768 << 10),
+        ("boyer", "boyer.lisp", 768 << 10),
+        ("brow", "brow.lisp", 768 << 10),
+        ("trav", "trav.lisp", 768 << 10),
+    ];
+    for (name, file, heap) in cases {
+        if let Some(o) = only {
+            if o != name {
+                continue;
+            }
+        }
+        let src = fs::read_to_string(format!("crates/programs/lisp/{file}")).unwrap();
+        let opts = lisp::Options {
+            heap_semi_bytes: heap,
+            ..lisp::Options::default()
+        };
+        match lisp::compile(&src, &opts) {
+            Ok(c) => match lisp::run(&c, 2_000_000_000) {
+                Ok(o) => {
+                    println!(
+                        "=== {name}: halt={} cycles={} ===\n{}",
+                        o.halt_code, o.stats.cycles, o.output
+                    );
+                    if o.halt_code == 0 && name != "inter" && name != "boyer" {
+                        fs::write(format!("crates/programs/expected/{name}.txt"), &o.output)
+                            .unwrap();
+                    }
+                }
+                Err(e) => println!("=== {name}: RUN ERROR {e}"),
+            },
+            Err(e) => println!("=== {name}: COMPILE ERROR {e}"),
+        }
+    }
+}

@@ -1,0 +1,51 @@
+//! Quickstart: compile a Lisp program, run it on the simulated MIPS-X, and see
+//! where the cycles went — including the tag-handling breakdown the paper is
+//! about.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use tags_repro::lisp::{compile, run, CheckingMode, Options};
+use tags_repro::mipsx::TagOpKind;
+use tags_repro::tagword::{Tag, TagScheme};
+
+fn main() {
+    // --- the tagword library on its own --------------------------------------
+    let scheme = TagScheme::HighTag5;
+    let pair = scheme.insert(Tag::Pair, 0x1000).expect("pointer fits");
+    println!("HighTag5 pair at 0x1000 tags as {pair:#010x}");
+    println!("  extract -> {:?}", scheme.extract(pair));
+    println!("  remove  -> {:#x}", scheme.remove(pair));
+    println!(
+        "  fixnum -7 is its own machine word: {:#010x}",
+        scheme.make_int(-7).unwrap()
+    );
+    println!();
+
+    // --- compile and simulate a program ---------------------------------------
+    let source = r#"
+        (defun fib (n)
+          (if (lessp n 2) n
+            (plus (fib (sub1 n)) (fib (difference n 2)))))
+        (print (fib 15))
+    "#;
+
+    for checking in [CheckingMode::None, CheckingMode::Full] {
+        let opts = Options::new(scheme, checking);
+        let compiled = compile(source, &opts).expect("compiles");
+        let outcome = run(&compiled, 100_000_000).expect("runs");
+        println!(
+            "fib(15) with checking={checking:?}: output {:?}",
+            outcome.output.trim()
+        );
+        println!("  cycles: {}", outcome.stats.cycles);
+        for op in [
+            TagOpKind::Insert,
+            TagOpKind::Remove,
+            TagOpKind::Extract,
+            TagOpKind::Check,
+        ] {
+            println!("  {op:?}: {:.2}% of time", outcome.stats.tag_op_percent(op));
+        }
+        println!();
+    }
+}

@@ -1,0 +1,29 @@
+//! Umbrella crate for the reproduction of Steenkiste & Hennessy,
+//! *Tags and Type Checking in LISP: Hardware and Software Approaches* (ASPLOS 1987).
+//!
+//! This crate re-exports the workspace members so examples and integration tests can
+//! reach the whole system through one dependency:
+//!
+//! - [`tagword`] — tagged-word representations (high-tag, low-tag, arithmetic-safe,
+//!   plus modern unsafe pointer tagging and NaN boxing),
+//! - [`mipsx`] — the MIPS-X-like instruction-level simulator with the paper's
+//!   hardware extensions,
+//! - [`lisp`] — the PSL-like Lisp compiler and runtime targeting the simulator,
+//! - [`programs`] — the ten benchmark programs,
+//! - [`tagstudy`] — the measurement framework regenerating every table and figure.
+//!
+//! # Quick start
+//!
+//! ```
+//! use tags_repro::lisp::{compile, run, Options};
+//!
+//! let compiled = compile("(print (plus 40 2))", &Options::default()).unwrap();
+//! let outcome = run(&compiled, 1_000_000).unwrap();
+//! assert_eq!(outcome.output, "42\n");
+//! ```
+
+pub use lisp;
+pub use mipsx;
+pub use programs;
+pub use tagstudy;
+pub use tagword;
