@@ -3,9 +3,10 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use mipsx::{HwConfig, ParallelCheck};
-use tagstudy::{CheckingMode, Config};
+use tagstudy::{CheckingMode, Config, Session};
 
 fn bench_trap_penalty(c: &mut Criterion) {
+    let session = Session::new();
     let mut g = c.benchmark_group("trap_penalty");
     g.sample_size(10);
     for penalty in [5u32, 20, 80] {
@@ -15,13 +16,14 @@ fn bench_trap_penalty(c: &mut Criterion) {
         };
         let cfg = Config::baseline(CheckingMode::Full).with_hw(hw);
         g.bench_function(format!("penalty={penalty}"), |b| {
-            b.iter(|| tagstudy::run_program("rat", &cfg).expect("runs"))
+            b.iter(|| session.measure_uncached("rat", cfg).expect("runs"))
         });
     }
     g.finish();
 }
 
 fn bench_parallel_scope(c: &mut Criterion) {
+    let session = Session::new();
     let mut g = c.benchmark_group("parallel_check_scope");
     g.sample_size(10);
     for (label, scope) in [
@@ -32,7 +34,7 @@ fn bench_parallel_scope(c: &mut Criterion) {
         let cfg =
             Config::baseline(CheckingMode::Full).with_hw(HwConfig::with_parallel_check(scope));
         g.bench_function(label, |b| {
-            b.iter(|| tagstudy::run_program("trav", &cfg).expect("runs"))
+            b.iter(|| session.measure_uncached("trav", cfg).expect("runs"))
         });
     }
     g.finish();

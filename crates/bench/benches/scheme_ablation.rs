@@ -2,17 +2,18 @@
 //! the design choice DESIGN.md calls out (high vs low tags, 5 vs 6 bits).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use tagstudy::{CheckingMode, Config};
+use tagstudy::{CheckingMode, Config, Session};
 use tagword::ALL_SCHEMES;
 
 fn bench_schemes(c: &mut Criterion) {
+    let session = Session::new();
     let mut g = c.benchmark_group("schemes");
     g.sample_size(10);
     for scheme in ALL_SCHEMES {
         for checking in [CheckingMode::None, CheckingMode::Full] {
             let cfg = Config::new(scheme, checking);
             g.bench_function(format!("{scheme}/{checking:?}"), |b| {
-                b.iter(|| tagstudy::run_program("boyer", &cfg).expect("runs"))
+                b.iter(|| session.measure_uncached("boyer", cfg).expect("runs"))
             });
         }
     }
@@ -20,6 +21,7 @@ fn bench_schemes(c: &mut Criterion) {
 }
 
 fn bench_preshifted_tag(c: &mut Criterion) {
+    let session = Session::new();
     let mut g = c.benchmark_group("preshift_ablation");
     g.sample_size(10);
     for pre in [false, true] {
@@ -28,7 +30,7 @@ fn bench_preshifted_tag(c: &mut Criterion) {
             ..Config::baseline(CheckingMode::None)
         };
         g.bench_function(format!("preshift={pre}"), |b| {
-            b.iter(|| tagstudy::run_program("inter", &cfg).expect("runs"))
+            b.iter(|| session.measure_uncached("inter", cfg).expect("runs"))
         });
     }
     g.finish();

@@ -2,24 +2,29 @@
 //! the simulations that one table/figure aggregates, so `cargo bench` both
 //! regenerates the numbers (printed once up front) and tracks the harness's own
 //! performance.
+//!
+//! Timing loops go through [`Session::measure_uncached`] — the cache-bypassing
+//! primitive — so each iteration times a real compile + simulation rather than
+//! a memoized lookup.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use tagstudy::{report, tables, CheckingMode, Config};
+use tagstudy::{report, tables, CheckingMode, Config, Session};
 
 /// Table 1 / Figure 1 substrate: every benchmark in both checking modes.
 fn bench_checking_modes(c: &mut Criterion) {
     // Print the actual tables once, so `cargo bench` output doubles as the
     // experiment record.
-    if let Ok(t) = tables::table1_for(&["frl", "trav", "boyer"]) {
+    if let Ok(t) = tables::table1_for(&mut Session::new(), &["frl", "trav", "boyer"]) {
         println!("{}", report::render_table1(&t));
     }
+    let session = Session::new();
     let mut g = c.benchmark_group("table1_figure1");
     g.sample_size(10);
     for name in ["frl", "trav", "rat"] {
         for checking in [CheckingMode::None, CheckingMode::Full] {
             let cfg = Config::baseline(checking);
             g.bench_function(format!("{name}/{checking:?}"), |b| {
-                b.iter(|| tagstudy::run_program(name, &cfg).expect("runs"))
+                b.iter(|| session.measure_uncached(name, cfg).expect("runs"))
             });
         }
     }
@@ -28,15 +33,16 @@ fn bench_checking_modes(c: &mut Criterion) {
 
 /// Figure 2 substrate: masking vs no-masking runs.
 fn bench_masking(c: &mut Criterion) {
+    let session = Session::new();
     let mut g = c.benchmark_group("figure2");
     g.sample_size(10);
     let base = Config::baseline(CheckingMode::None);
     let drop = base.with_hw(mipsx::HwConfig::with_address_drop(5));
     g.bench_function("frl/masked", |b| {
-        b.iter(|| tagstudy::run_program("frl", &base).expect("runs"))
+        b.iter(|| session.measure_uncached("frl", base).expect("runs"))
     });
     g.bench_function("frl/unmasked", |b| {
-        b.iter(|| tagstudy::run_program("frl", &drop).expect("runs"))
+        b.iter(|| session.measure_uncached("frl", drop).expect("runs"))
     });
     g.finish();
 }
@@ -44,6 +50,7 @@ fn bench_masking(c: &mut Criterion) {
 /// Table 2 substrate: the support levels on one benchmark.
 fn bench_support_levels(c: &mut Criterion) {
     use mipsx::{HwConfig, ParallelCheck};
+    let session = Session::new();
     let mut g = c.benchmark_group("table2");
     g.sample_size(10);
     let rows: Vec<(&str, HwConfig)> = vec![
@@ -64,7 +71,7 @@ fn bench_support_levels(c: &mut Criterion) {
     for (label, hw) in rows {
         let cfg = Config::baseline(CheckingMode::Full).with_hw(hw);
         g.bench_function(label, |b| {
-            b.iter(|| tagstudy::run_program("deduce", &cfg).expect("runs"))
+            b.iter(|| session.measure_uncached("deduce", cfg).expect("runs"))
         });
     }
     g.finish();

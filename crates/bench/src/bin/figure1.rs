@@ -1,10 +1,12 @@
 //! Regenerate Figure 1: % of time spent on each tag-handling operation.
 
 fn main() {
-    let f = bench::unwrap_study(tagstudy::tables::figure1());
+    let mut session = bench::session();
+    let names = tagstudy::tables::default_programs();
+    let f = bench::unwrap_study(tagstudy::tables::figure1_for(&mut session, &names));
     print!("{}", tagstudy::report::render_figure1(&f));
-    let p = bench::unwrap_study(tagstudy::tables::preshift_study_for(
-        &tagstudy::tables::default_programs(),
-    ));
+    // The preshift ablation reuses Figure 1's unchecked baseline from the cache.
+    let p = bench::unwrap_study(tagstudy::tables::preshift_study_for(&mut session, &names));
     print!("{}", tagstudy::report::render_preshift(&p));
+    bench::report_session(&session);
 }

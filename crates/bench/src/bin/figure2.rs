@@ -2,6 +2,11 @@
 //! tag masking.
 
 fn main() {
-    let f = bench::unwrap_study(tagstudy::tables::figure2());
+    let mut session = bench::session();
+    let f = bench::unwrap_study(tagstudy::tables::figure2_for(
+        &mut session,
+        &tagstudy::tables::default_programs(),
+    ));
     print!("{}", tagstudy::report::render_figure2(&f));
+    bench::report_session(&session);
 }

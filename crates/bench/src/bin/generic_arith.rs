@@ -1,8 +1,11 @@
 //! Regenerate the §4.2/§6.2.2 generic-arithmetic studies.
 
 fn main() {
+    let mut session = bench::session();
     let g = bench::unwrap_study(tagstudy::tables::generic_arith_study_for(
+        &mut session,
         &tagstudy::tables::default_programs(),
     ));
     print!("{}", tagstudy::report::render_generic(&g));
+    bench::report_session(&session);
 }

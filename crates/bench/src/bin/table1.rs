@@ -1,6 +1,11 @@
 //! Regenerate Table 1: % increase in execution time from full run-time checking.
 
 fn main() {
-    let t = bench::unwrap_study(tagstudy::tables::table1());
+    let mut session = bench::session();
+    let t = bench::unwrap_study(tagstudy::tables::table1_for(
+        &mut session,
+        &tagstudy::tables::default_programs(),
+    ));
     print!("{}", tagstudy::report::render_table1(&t));
+    bench::report_session(&session);
 }

@@ -2,6 +2,11 @@
 //! support level, including the §7 SPUR comparison.
 
 fn main() {
-    let t = bench::unwrap_study(tagstudy::tables::table2());
+    let mut session = bench::session();
+    let t = bench::unwrap_study(tagstudy::tables::table2_for(
+        &mut session,
+        &tagstudy::tables::default_programs(),
+    ));
     print!("{}", tagstudy::report::render_table2(&t));
+    bench::report_session(&session);
 }

@@ -1,6 +1,11 @@
 //! Regenerate Table 3: static statistics of the ten benchmark programs.
 
 fn main() {
-    let t = bench::unwrap_study(tagstudy::tables::table3());
+    let mut session = bench::session();
+    let t = bench::unwrap_study(tagstudy::tables::table3_for(
+        &mut session,
+        &tagstudy::tables::default_programs(),
+    ));
     print!("{}", tagstudy::report::render_table3(&t));
+    bench::report_session(&session);
 }

@@ -2,8 +2,15 @@
 //! benches. The binaries (`table1`, `table2`, `table3`, `figure1`, `figure2`,
 //! `generic_arith`, `all_experiments`) print the paper's tables next to the
 //! measured values; the Criterion benches time the underlying simulations.
+//!
+//! Every binary drives one [`Session`]: [`session`] wires up a live progress
+//! feed on stderr, and [`report_session`] prints the cache/timing summary at
+//! exit. Tables go to stdout, telemetry to stderr, so redirecting stdout
+//! still captures exactly the paper's tables.
 
 #![deny(missing_docs)]
+
+use tagstudy::{Progress, Session};
 
 /// Exit with a readable message on measurement failure.
 pub fn unwrap_study<T>(r: Result<T, tagstudy::StudyError>) -> T {
@@ -14,4 +21,28 @@ pub fn unwrap_study<T>(r: Result<T, tagstudy::StudyError>) -> T {
             std::process::exit(1);
         }
     }
+}
+
+/// A session wired for the command-line binaries: default parallelism, live
+/// per-measurement status on stderr (stdout stays table-only).
+pub fn session() -> Session {
+    Session::new().with_progress(|p| {
+        if let Progress::Finished {
+            program,
+            config,
+            timing,
+        } = p
+        {
+            eprintln!(
+                "[session] {program}/{config}: compile {:.1?}, simulate {:.1?}",
+                timing.compile, timing.simulate
+            );
+        }
+    })
+}
+
+/// Print the session's cache/timing summary to stderr. Call on exit from every
+/// bench binary.
+pub fn report_session(session: &Session) {
+    eprint!("{}", session.summary());
 }

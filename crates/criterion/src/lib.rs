@@ -1,0 +1,177 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to a crates registry, so this workspace
+//! vendors the subset of criterion's API its benches use: [`Criterion`],
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::sample_size`],
+//! [`BenchmarkGroup::bench_function`], [`Bencher::iter`], [`black_box`], and
+//! the [`criterion_group!`]/[`criterion_main!`] macros.
+//!
+//! Instead of criterion's statistical machinery it reports a simple trimmed
+//! mean over the configured sample count — enough to compare configurations
+//! and catch order-of-magnitude regressions, and it keeps `cargo bench`
+//! working with no external dependencies.
+
+#![deny(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// The benchmark driver handed to every `criterion_group!` function.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            sample_size: 10,
+        }
+    }
+}
+
+/// A named group of benchmarks sharing a sample size.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set how many timed samples each benchmark records.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Run one benchmark: `f` receives a [`Bencher`] and calls
+    /// [`Bencher::iter`] with the routine under test.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            samples: Vec::with_capacity(self.sample_size),
+            sample_size: self.sample_size,
+        };
+        f(&mut b);
+        report(&self.name, &id.to_string(), &mut b.samples);
+        self
+    }
+
+    /// Finish the group (provided for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Times the routine under test.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Run `f` repeatedly, recording one wall-clock sample per run (after one
+    /// untimed warm-up run).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        black_box(f()); // warm-up
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            black_box(f());
+            self.samples.push(t.elapsed());
+        }
+    }
+}
+
+fn report(group: &str, id: &str, samples: &mut [Duration]) {
+    if samples.is_empty() {
+        println!("{group}/{id}: no samples (Bencher::iter never called)");
+        return;
+    }
+    samples.sort_unstable();
+    // Trim one sample from each end when there are enough, then average.
+    let trimmed = if samples.len() > 4 {
+        &samples[1..samples.len() - 1]
+    } else {
+        &samples[..]
+    };
+    let total: Duration = trimmed.iter().sum();
+    let mean = total / trimmed.len() as u32;
+    let min = samples[0];
+    let max = samples[samples.len() - 1];
+    println!(
+        "{group}/{id}: mean {} (min {}, max {}, n={})",
+        fmt_duration(mean),
+        fmt_duration(min),
+        fmt_duration(max),
+        samples.len()
+    );
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1_000.0)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns as f64 / 1_000_000_000.0)
+    }
+}
+
+/// Collect benchmark functions into one group runner, mirroring criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Produce the `main` function running the named groups, mirroring criterion.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups_run_and_report() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("smoke");
+        g.sample_size(3);
+        let mut runs = 0u32;
+        g.bench_function("counting", |b| {
+            b.iter(|| {
+                runs += 1;
+                black_box(runs)
+            })
+        });
+        g.finish();
+        assert_eq!(runs, 4, "one warm-up plus three samples");
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(fmt_duration(Duration::from_nanos(12)), "12 ns");
+        assert_eq!(fmt_duration(Duration::from_micros(12)), "12.00 µs");
+        assert_eq!(fmt_duration(Duration::from_millis(12)), "12.00 ms");
+        assert_eq!(fmt_duration(Duration::from_secs(2)), "2.00 s");
+    }
+}

@@ -27,7 +27,7 @@ use crate::front::CheckingMode;
 
 /// How high-tag schemes test for an integer (paper §4.1). Low-tag schemes always
 /// use their single two-bit test.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum IntTestMethod {
     /// §4.1 method 2 (the paper's measurement default): sign-extend the data
     /// field and compare with the original — always 3 cycles.

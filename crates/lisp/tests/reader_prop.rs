@@ -5,10 +5,21 @@ use proptest::prelude::*;
 
 use lisp::{compile, parse_one, run, Options, Sexp};
 
+/// Symbol names matching `[a-z][a-z0-9-]{0,6}`.
+fn symbol_name() -> impl Strategy<Value = String> {
+    const HEAD: &[char] = &['a', 'b', 'c', 'd', 'k', 'q', 'x', 'z'];
+    const TAIL: &[char] = &['a', 'e', 'm', 's', 'y', '0', '3', '9', '-'];
+    (
+        prop::sample::select(HEAD.to_vec()),
+        prop::collection::vec(prop::sample::select(TAIL.to_vec()), 0..7),
+    )
+        .prop_map(|(h, t)| std::iter::once(h).chain(t).collect())
+}
+
 fn atom() -> impl Strategy<Value = Sexp> {
     prop_oneof![
         (-99999i32..99999).prop_map(Sexp::Int),
-        "[a-z][a-z0-9-]{0,6}".prop_map(Sexp::Sym),
+        symbol_name().prop_map(Sexp::Sym),
     ]
 }
 

@@ -111,7 +111,7 @@ impl InsnClass {
 }
 
 /// Aggregated execution statistics from one simulation.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Stats {
     /// Total cycles.
     pub cycles: u64,

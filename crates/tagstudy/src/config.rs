@@ -8,7 +8,10 @@ use tagword::TagScheme;
 
 /// A tag-implementation configuration: scheme × checking mode × hardware (plus
 /// the §3.1 preshifted-tag ablation).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+///
+/// `Config` is `Hash + Eq` so that a `(program, Config)` pair can key the
+/// [`Session`](crate::Session) measurement cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Config {
     /// The tag scheme.
     pub scheme: TagScheme,
@@ -83,5 +86,36 @@ mod tests {
         assert_eq!(o.checking, CheckingMode::Full);
         let c = c.with_hw(HwConfig::with_tag_branch());
         assert!(c.to_string().ends_with("/hw"));
+    }
+
+    /// Every distinct point of the design space must round-trip through a hash
+    /// map — the property the session cache key rests on.
+    #[test]
+    fn config_round_trips_as_hash_key() {
+        use lisp::IntTestMethod;
+        use std::collections::HashMap;
+
+        let mut points = Vec::new();
+        for scheme in tagword::ALL_SCHEMES {
+            for checking in [CheckingMode::None, CheckingMode::Full] {
+                points.push(Config::new(scheme, checking));
+                points.push(Config::new(scheme, checking).with_hw(HwConfig::maximal(5)));
+            }
+        }
+        points.push(Config {
+            preshifted_pair_tag: true,
+            ..Config::baseline(CheckingMode::None)
+        });
+        points.push(Config {
+            int_test_method: IntTestMethod::TagCompare,
+            ..Config::baseline(CheckingMode::Full)
+        });
+
+        let map: HashMap<Config, usize> =
+            points.iter().enumerate().map(|(i, c)| (*c, i)).collect();
+        assert_eq!(map.len(), points.len(), "all points are distinct keys");
+        for (i, c) in points.iter().enumerate() {
+            assert_eq!(map.get(c), Some(&i), "{c} must round-trip");
+        }
     }
 }

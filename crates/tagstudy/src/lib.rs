@@ -2,21 +2,54 @@
 //! configurations and regenerates every table and figure of Steenkiste &
 //! Hennessy (ASPLOS 1987).
 //!
-//! The crate is organised around [`Config`] (one point in the study's design
-//! space), [`run_program`]/[`run_all`] (measured, output-validated executions),
-//! and the [`tables`] module, which computes:
+//! # Architecture
 //!
-//! - [`tables::table1`] — execution-time increase from full run-time checking,
-//!   split into arithmetic/vector/list categories;
-//! - [`tables::figure1`] — time spent on tag insertion/removal/extraction/
-//!   checking, with and without run-time checking;
-//! - [`tables::figure2`] — instruction-frequency reduction when tag masking is
-//!   eliminated (and the no-op/squash comeback the paper observes);
-//! - [`tables::table2`] — cycles eliminated by each software/hardware support
-//!   level, including the SPUR comparison of §7;
-//! - [`tables::table3`] — static program statistics;
-//! - [`tables::generic_arith_study_for`] — §4.2/§6.2.2: the arithmetic-safe tag
-//!   encoding, trap hardware, and the wrong-bias float sweep.
+//! The crate is organised around three layers:
+//!
+//! - [`Config`] — one point in the study's design space (tag scheme × checking
+//!   mode × hardware support). `Config` is `Copy + Hash + Eq`, so a
+//!   `(program, Config)` pair identifies a measurement.
+//! - [`Session`] — the experiment engine. A session owns a measurement cache
+//!   keyed by `(program, Config)`, a bounded worker pool that fills it in
+//!   parallel, and an observability surface: cache hit/miss counters, compile
+//!   vs simulate wall-time attribution ([`Timing`]), and an optional
+//!   [`Progress`] callback for live status. Every design-space point is
+//!   compiled and simulated at most once per session, no matter how many
+//!   tables ask for it.
+//! - [`tables`] — pure projections over a session. Each `*_for` function takes
+//!   `&mut Session`, requests the measurements it needs (batched, so the pool
+//!   can run them concurrently), and folds them into a table struct:
+//!
+//!   - [`tables::table1_for`] — execution-time increase from full run-time
+//!     checking, split into arithmetic/vector/list categories;
+//!   - [`tables::figure1_for`] — time spent on tag insertion/removal/
+//!     extraction/checking, with and without run-time checking;
+//!   - [`tables::figure2_for`] — instruction-frequency reduction when tag
+//!     masking is eliminated (and the no-op/squash comeback);
+//!   - [`tables::table2_for`] — cycles eliminated by each software/hardware
+//!     support level, including the SPUR comparison of §7;
+//!   - [`tables::table3_for`] — static program statistics;
+//!   - [`tables::generic_arith_study_for`] — §4.2/§6.2.2: the arithmetic-safe
+//!     tag encoding, trap hardware, and the wrong-bias float sweep.
+//!
+//! Because the projections share configurations (Table 1, Figure 1 and
+//! Table 3 all use the HighTag5 baselines; Table 2 revisits several hardware
+//! levels), regenerating *everything* through one session does a fraction of
+//! the work of regenerating each table in isolation:
+//!
+//! ```no_run
+//! use tagstudy::{tables, Session};
+//!
+//! let mut session = Session::new(); // workers = available_parallelism()
+//! let names = tables::default_programs();
+//! let t1 = tables::table1_for(&mut session, &names)?;
+//! let t2 = tables::table2_for(&mut session, &names)?; // baselines reused
+//! eprintln!("{}", session.summary()); // hits/misses, compile vs simulate time
+//! # Ok::<(), tagstudy::StudyError>(())
+//! ```
+//!
+//! The pre-0.2 free functions ([`run_all`], [`tables::table1`], …) survive as
+//! deprecated shims that each spin up a private session.
 //!
 //! Paper reference values are embedded in [`paper`] so reports can print
 //! side-by-side comparisons.
@@ -27,8 +60,12 @@ mod config;
 mod measure;
 pub mod paper;
 pub mod report;
+mod session;
 pub mod tables;
 
 pub use config::Config;
 pub use lisp::CheckingMode;
-pub use measure::{run_all, run_benchmark, run_program, Measurement, StudyError};
+#[allow(deprecated)]
+pub use measure::run_all;
+pub use measure::{run_benchmark, run_program, Measurement, StudyError, Timing};
+pub use session::{Progress, Session, SessionStats};

@@ -1,6 +1,13 @@
 //! Output-validated, measured benchmark executions.
+//!
+//! [`run_benchmark`]/[`run_program`] are the single-shot primitives: one
+//! compile + one simulation, output checked against the benchmark's pinned
+//! expectation. Studies should not call them in a loop — that is what
+//! [`Session`](crate::Session) is for, which memoizes them per
+//! `(program, Config)` and runs batches on a bounded worker pool.
 
 use std::fmt;
+use std::time::{Duration, Instant};
 
 use lisp::CompileStats;
 use mipsx::Stats;
@@ -37,6 +44,21 @@ pub enum StudyError {
         /// What it printed.
         got: String,
     },
+    /// Several measurements of one batch failed; every failure is retained.
+    Multiple(Vec<StudyError>),
+}
+
+impl StudyError {
+    /// Collapse a non-empty error list: a single error stays itself, several
+    /// become [`StudyError::Multiple`].
+    pub(crate) fn from_many(mut errors: Vec<StudyError>) -> StudyError {
+        debug_assert!(!errors.is_empty());
+        if errors.len() == 1 {
+            errors.pop().expect("non-empty")
+        } else {
+            StudyError::Multiple(errors)
+        }
+    }
 }
 
 impl fmt::Display for StudyError {
@@ -53,6 +75,13 @@ impl fmt::Display for StudyError {
                 got,
             } => {
                 write!(f, "{program} under {config}: wrong output {got:?}")
+            }
+            StudyError::Multiple(errors) => {
+                write!(f, "{} measurements failed:", errors.len())?;
+                for e in errors {
+                    write!(f, "\n  {e}")?;
+                }
+                Ok(())
             }
         }
     }
@@ -73,18 +102,40 @@ pub struct Measurement {
     pub compile: CompileStats,
 }
 
-/// Compile and run benchmark `b` under `config`, validating its output.
+/// Host-side wall time of one measurement, split compile vs simulate.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Timing {
+    /// Wall time spent in the compiler.
+    pub compile: Duration,
+    /// Wall time spent in the simulator (including output validation).
+    pub simulate: Duration,
+}
+
+impl Timing {
+    /// Total wall time of the measurement.
+    pub fn total(&self) -> Duration {
+        self.compile + self.simulate
+    }
+}
+
+/// [`run_benchmark`], also reporting where the host's wall time went.
 ///
 /// # Errors
 ///
 /// [`StudyError`] on compile/run failure or output mismatch.
-pub fn run_benchmark(b: &Benchmark, config: &Config) -> Result<Measurement, StudyError> {
+pub fn run_benchmark_timed(
+    b: &Benchmark,
+    config: &Config,
+) -> Result<(Measurement, Timing), StudyError> {
+    let compile_start = Instant::now();
     let compiled = b
         .compile(&config.to_options())
         .map_err(|e| StudyError::Compile {
             program: b.name.to_string(),
             message: e.to_string(),
         })?;
+    let compile_time = compile_start.elapsed();
+    let sim_start = Instant::now();
     let outcome = lisp::run(&compiled, programs::FUEL).map_err(|e| StudyError::Sim {
         program: b.name.to_string(),
         message: e.to_string(),
@@ -96,12 +147,28 @@ pub fn run_benchmark(b: &Benchmark, config: &Config) -> Result<Measurement, Stud
             got: format!("halt={} {:?}", outcome.halt_code, outcome.output),
         });
     }
-    Ok(Measurement {
-        program: b.name.to_string(),
-        config: *config,
-        stats: outcome.stats,
-        compile: compiled.stats,
-    })
+    let timing = Timing {
+        compile: compile_time,
+        simulate: sim_start.elapsed(),
+    };
+    Ok((
+        Measurement {
+            program: b.name.to_string(),
+            config: *config,
+            stats: outcome.stats,
+            compile: compiled.stats,
+        },
+        timing,
+    ))
+}
+
+/// Compile and run benchmark `b` under `config`, validating its output.
+///
+/// # Errors
+///
+/// [`StudyError`] on compile/run failure or output mismatch.
+pub fn run_benchmark(b: &Benchmark, config: &Config) -> Result<Measurement, StudyError> {
+    run_benchmark_timed(b, config).map(|(m, _)| m)
 }
 
 /// Run a named benchmark under `config`.
@@ -118,25 +185,15 @@ pub fn run_program(name: &str, config: &Config) -> Result<Measurement, StudyErro
 ///
 /// # Errors
 ///
-/// The first [`StudyError`] encountered.
+/// All [`StudyError`]s encountered, collapsed via [`StudyError::Multiple`].
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Session::measure_set` — it memoizes per (program, Config), bounds \
+            the worker pool, and reports cache/timing statistics"
+)]
 pub fn run_all(config: &Config) -> Result<Vec<Measurement>, StudyError> {
-    let benches = programs::all();
-    let mut results: Vec<Option<Result<Measurement, StudyError>>> =
-        benches.iter().map(|_| None).collect();
-    std::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for b in benches {
-            let cfg = *config;
-            handles.push(scope.spawn(move || run_benchmark(b, &cfg)));
-        }
-        for (slot, h) in results.iter_mut().zip(handles) {
-            *slot = Some(h.join().expect("measurement thread panicked"));
-        }
-    });
-    results
-        .into_iter()
-        .map(|r| r.expect("all slots filled"))
-        .collect()
+    let names: Vec<&str> = programs::all().iter().map(|b| b.name).collect();
+    crate::Session::new().measure_set(&names, *config)
 }
 
 #[cfg(test)]
@@ -156,5 +213,27 @@ mod tests {
         assert!(m.stats.cycles > 100_000);
         assert!(m.compile.procedures > 20);
         assert_eq!(m.program, "frl");
+    }
+
+    #[test]
+    fn timed_runs_attribute_wall_time() {
+        let b = programs::by_name("frl").unwrap();
+        let (_, t) = run_benchmark_timed(b, &Config::baseline(CheckingMode::None)).unwrap();
+        assert!(t.compile > Duration::ZERO);
+        assert!(t.simulate > Duration::ZERO);
+        assert_eq!(t.total(), t.compile + t.simulate);
+    }
+
+    #[test]
+    fn multiple_collapses_singletons() {
+        let e = StudyError::from_many(vec![StudyError::UnknownProgram("x".into())]);
+        assert!(matches!(e, StudyError::UnknownProgram(_)));
+        let e = StudyError::from_many(vec![
+            StudyError::UnknownProgram("x".into()),
+            StudyError::UnknownProgram("y".into()),
+        ]);
+        let text = e.to_string();
+        assert!(text.contains("2 measurements failed"));
+        assert!(text.contains('x') && text.contains('y'));
     }
 }

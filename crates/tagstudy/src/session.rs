@@ -1,0 +1,467 @@
+//! The memoizing, parallel experiment engine.
+//!
+//! A [`Session`] owns one pool of measurements for the whole process: a cache
+//! keyed by `(program, Config)`, a bounded worker pool that fills it, and an
+//! observability surface (hit/miss counters, per-measurement wall time split
+//! compile vs simulate, an optional progress callback). Every table/figure in
+//! [`crate::tables`] is a pure projection over session measurements, so
+//! regenerating all of them — which shares the HighTag5 baseline and several
+//! Table 2 configurations — compiles and simulates each point of the design
+//! space exactly once:
+//!
+//! ```no_run
+//! use tagstudy::{tables, CheckingMode, Config, Session};
+//!
+//! let mut session = Session::new();
+//! let names = tables::default_programs();
+//! let t1 = tables::table1_for(&mut session, &names)?;
+//! let f1 = tables::figure1_for(&mut session, &names)?; // baseline runs reused
+//! assert!(session.stats().hits > 0);
+//! # Ok::<(), tagstudy::StudyError>(())
+//! ```
+
+use std::collections::HashMap;
+use std::num::NonZeroUsize;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use crate::config::Config;
+use crate::measure::{run_benchmark_timed, Measurement, StudyError, Timing};
+
+/// A progress event, delivered to the session's callback as measurements move
+/// through the engine. Callbacks run on worker threads; keep them cheap.
+#[derive(Debug, Clone)]
+pub enum Progress {
+    /// A requested measurement was served from the cache.
+    Hit {
+        /// Benchmark name.
+        program: String,
+        /// Configuration requested.
+        config: Config,
+    },
+    /// A compile + simulate started on a worker.
+    Started {
+        /// Benchmark name.
+        program: String,
+        /// Configuration being measured.
+        config: Config,
+    },
+    /// A measurement finished and entered the cache.
+    Finished {
+        /// Benchmark name.
+        program: String,
+        /// Configuration measured.
+        config: Config,
+        /// Where the wall time went.
+        timing: Timing,
+    },
+}
+
+/// Aggregate counters for one [`Session`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SessionStats {
+    /// Requests served from the cache (including duplicates within one batch).
+    pub hits: u64,
+    /// Measurements actually compiled and simulated.
+    pub misses: u64,
+    /// Total wall time spent compiling.
+    pub compile_time: Duration,
+    /// Total wall time spent simulating.
+    pub sim_time: Duration,
+}
+
+impl SessionStats {
+    /// Total requests the session has answered.
+    pub fn requests(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Total wall time spent measuring (compile + simulate, summed over
+    /// workers — parallel batches finish in less elapsed time than this).
+    pub fn work_time(&self) -> Duration {
+        self.compile_time + self.sim_time
+    }
+}
+
+type ProgressFn = Arc<dyn Fn(&Progress) + Send + Sync>;
+type MeasureResult = Result<(Measurement, Timing), StudyError>;
+
+/// The memoizing, parallel experiment engine. See the [module docs](self).
+pub struct Session {
+    cache: HashMap<(String, Config), (Measurement, Timing)>,
+    parallelism: NonZeroUsize,
+    progress: Option<ProgressFn>,
+    stats: SessionStats,
+}
+
+impl Default for Session {
+    fn default() -> Self {
+        Session::new()
+    }
+}
+
+impl std::fmt::Debug for Session {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Session")
+            .field("cached", &self.cache.len())
+            .field("parallelism", &self.parallelism)
+            .field("stats", &self.stats)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Session {
+    /// A session with an empty cache and one worker per available core.
+    pub fn new() -> Session {
+        let parallelism = std::thread::available_parallelism()
+            .unwrap_or(NonZeroUsize::new(4).expect("non-zero"));
+        Session {
+            cache: HashMap::new(),
+            parallelism,
+            progress: None,
+            stats: SessionStats::default(),
+        }
+    }
+
+    /// A session that measures strictly serially (one worker, no threads) —
+    /// useful as a determinism reference and in constrained environments.
+    pub fn serial() -> Session {
+        Session::new().with_parallelism(NonZeroUsize::new(1).expect("non-zero"))
+    }
+
+    /// Bound the worker pool to `parallelism` workers.
+    pub fn with_parallelism(mut self, parallelism: NonZeroUsize) -> Session {
+        self.parallelism = parallelism;
+        self
+    }
+
+    /// Install a progress callback. It is invoked from worker threads while a
+    /// batch is in flight, so it must be `Send + Sync` and should be cheap.
+    pub fn with_progress(mut self, f: impl Fn(&Progress) + Send + Sync + 'static) -> Session {
+        self.progress = Some(Arc::new(f));
+        self
+    }
+
+    /// The session's counters so far.
+    pub fn stats(&self) -> SessionStats {
+        self.stats
+    }
+
+    /// The configured worker-pool bound.
+    pub fn parallelism(&self) -> NonZeroUsize {
+        self.parallelism
+    }
+
+    /// Number of distinct `(program, Config)` points measured so far.
+    pub fn cached_measurements(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Iterate over every cached measurement and its timing, in no particular
+    /// order.
+    pub fn measurements(&self) -> impl Iterator<Item = (&Measurement, &Timing)> {
+        self.cache.values().map(|(m, t)| (m, t))
+    }
+
+    /// Measure one `(program, config)` point, reusing the cache.
+    ///
+    /// # Errors
+    ///
+    /// Any [`StudyError`] the underlying measurement raises.
+    pub fn measure(&mut self, program: &str, config: Config) -> Result<Measurement, StudyError> {
+        self.measure_many(&[(program, config)])
+            .map(|mut v| v.pop().expect("one result per request"))
+    }
+
+    /// Measure every `(program, config)` request of a batch, returning results
+    /// in request order. Cached points are served without work; uncached
+    /// points are deduplicated (a point requested twice in one batch is
+    /// measured once) and measured on the bounded worker pool.
+    ///
+    /// # Errors
+    ///
+    /// If any measurement fails, *all* failures of the batch are collected and
+    /// collapsed via [`StudyError::Multiple`]; a panicking worker surfaces as
+    /// a [`StudyError::Sim`] for its program, never as a harness panic.
+    pub fn measure_many(
+        &mut self,
+        requests: &[(&str, Config)],
+    ) -> Result<Vec<Measurement>, StudyError> {
+        // Partition into cache hits and deduplicated pending work.
+        let mut pending: Vec<(String, Config)> = Vec::new();
+        for (name, config) in requests {
+            let key = (name.to_string(), *config);
+            if self.cache.contains_key(&key) {
+                self.stats.hits += 1;
+                self.emit(&Progress::Hit {
+                    program: key.0,
+                    config: *config,
+                });
+            } else if pending.contains(&key) {
+                // In-flight dedup: a second request of the same point rides
+                // along with the first and counts as a hit.
+                self.stats.hits += 1;
+            } else {
+                pending.push(key);
+            }
+        }
+
+        let mut errors: Vec<StudyError> = Vec::new();
+        if !pending.is_empty() {
+            for (key, result) in pending.iter().zip(self.run_pool(&pending)) {
+                match result {
+                    Ok((measurement, timing)) => {
+                        self.stats.misses += 1;
+                        self.stats.compile_time += timing.compile;
+                        self.stats.sim_time += timing.simulate;
+                        self.cache.insert(key.clone(), (measurement, timing));
+                    }
+                    Err(e) => errors.push(e),
+                }
+            }
+        }
+        if !errors.is_empty() {
+            return Err(StudyError::from_many(errors));
+        }
+
+        Ok(requests
+            .iter()
+            .map(|(name, config)| {
+                self.cache
+                    .get(&(name.to_string(), *config))
+                    .map(|(m, _)| m.clone())
+                    .expect("every successful request is cached")
+            })
+            .collect())
+    }
+
+    /// Measure every program of `names` under one `config`, in `names` order.
+    ///
+    /// # Errors
+    ///
+    /// As [`Session::measure_many`].
+    pub fn measure_set(
+        &mut self,
+        names: &[&str],
+        config: Config,
+    ) -> Result<Vec<Measurement>, StudyError> {
+        let requests: Vec<(&str, Config)> = names.iter().map(|n| (*n, config)).collect();
+        self.measure_many(&requests)
+    }
+
+    /// Measure without touching the cache or counters: always compiles and
+    /// simulates. This is the right primitive for timing harnesses (criterion
+    /// benches) where serving a memoized result would time the cache instead
+    /// of the toolchain.
+    ///
+    /// # Errors
+    ///
+    /// Any [`StudyError`] the underlying measurement raises.
+    pub fn measure_uncached(
+        &self,
+        program: &str,
+        config: Config,
+    ) -> Result<Measurement, StudyError> {
+        crate::measure::run_program(program, &config)
+    }
+
+    /// Render the observability surface as a short plain-text summary: cache
+    /// counters, the compile/simulate wall-time split, and the slowest
+    /// measured points.
+    pub fn summary(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let s = &self.stats;
+        let _ = writeln!(
+            out,
+            "session: {} measurements cached, {} hits / {} misses ({} requests), workers {}",
+            self.cache.len(),
+            s.hits,
+            s.misses,
+            s.requests(),
+            self.parallelism
+        );
+        let _ = writeln!(
+            out,
+            "  work time {:.2?} = compile {:.2?} + simulate {:.2?}",
+            s.work_time(),
+            s.compile_time,
+            s.sim_time
+        );
+        let mut slowest: Vec<(&Measurement, &Timing)> = self.measurements().collect();
+        slowest.sort_by_key(|(_, t)| std::cmp::Reverse(t.total()));
+        for (m, t) in slowest.iter().take(3) {
+            let _ = writeln!(
+                out,
+                "  slowest: {}/{} {:.2?} (compile {:.2?}, simulate {:.2?})",
+                m.program,
+                m.config,
+                t.total(),
+                t.compile,
+                t.simulate
+            );
+        }
+        out
+    }
+
+    fn emit(&self, event: &Progress) {
+        if let Some(f) = &self.progress {
+            f(event);
+        }
+    }
+
+    /// Run `jobs` on at most `self.parallelism` workers, returning results in
+    /// job order. Worker panics are converted into per-program errors.
+    fn run_pool(&self, jobs: &[(String, Config)]) -> Vec<MeasureResult> {
+        let workers = jobs.len().min(self.parallelism.get());
+        if workers <= 1 {
+            return jobs.iter().map(|job| self.run_one(job)).collect();
+        }
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<MeasureResult>>> =
+            jobs.iter().map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(job) = jobs.get(i) else { break };
+                    *slots[i].lock().expect("result slot") = Some(self.run_one(job));
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("result slot")
+                    .expect("worker filled every claimed slot")
+            })
+            .collect()
+    }
+
+    fn run_one(&self, (name, config): &(String, Config)) -> MeasureResult {
+        let Some(benchmark) = programs::by_name(name) else {
+            return Err(StudyError::UnknownProgram(name.clone()));
+        };
+        self.emit(&Progress::Started {
+            program: name.clone(),
+            config: *config,
+        });
+        let result = catch_unwind(AssertUnwindSafe(|| run_benchmark_timed(benchmark, config)))
+            .unwrap_or_else(|payload| {
+                Err(StudyError::Sim {
+                    program: name.clone(),
+                    message: format!("measurement worker panicked: {}", panic_text(&payload)),
+                })
+            });
+        if let Ok((_, timing)) = &result {
+            self.emit(&Progress::Finished {
+                program: name.clone(),
+                config: *config,
+                timing: *timing,
+            });
+        }
+        result
+    }
+}
+
+fn panic_text(payload: &(dyn std::any::Any + Send)) -> &str {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        s
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s
+    } else {
+        "<non-string panic payload>"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lisp::CheckingMode;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn measure_hits_cache_on_second_request() {
+        let mut s = Session::serial();
+        let cfg = Config::baseline(CheckingMode::None);
+        let a = s.measure("frl", cfg).unwrap();
+        assert_eq!(s.stats().misses, 1);
+        assert_eq!(s.stats().hits, 0);
+        let b = s.measure("frl", cfg).unwrap();
+        assert_eq!(s.stats().misses, 1, "no recompute");
+        assert_eq!(s.stats().hits, 1);
+        assert_eq!(a.stats, b.stats);
+        assert!(s.stats().work_time() > Duration::ZERO);
+    }
+
+    #[test]
+    fn batch_duplicates_measure_once() {
+        let mut s = Session::new();
+        let cfg = Config::baseline(CheckingMode::None);
+        let out = s.measure_many(&[("frl", cfg), ("frl", cfg), ("frl", cfg)]).unwrap();
+        assert_eq!(out.len(), 3);
+        assert_eq!(s.stats().misses, 1, "in-flight dedup");
+        assert_eq!(s.stats().hits, 2);
+        assert_eq!(out[0].stats, out[1].stats);
+    }
+
+    #[test]
+    fn failures_are_collected_not_raced() {
+        let mut s = Session::new();
+        let cfg = Config::baseline(CheckingMode::None);
+        let err = s
+            .measure_many(&[("frl", cfg), ("nope", cfg), ("nada", cfg)])
+            .unwrap_err();
+        match err {
+            StudyError::Multiple(errors) => {
+                assert_eq!(errors.len(), 2, "both failures retained: {errors:?}");
+                assert!(errors
+                    .iter()
+                    .all(|e| matches!(e, StudyError::UnknownProgram(_))));
+            }
+            other => panic!("expected Multiple, got {other}"),
+        }
+        // The successful sibling still entered the cache.
+        assert_eq!(s.stats().misses, 1);
+        assert_eq!(s.cached_measurements(), 1);
+    }
+
+    #[test]
+    fn progress_callback_sees_lifecycle() {
+        let started = Arc::new(AtomicU64::new(0));
+        let finished = Arc::new(AtomicU64::new(0));
+        let hits = Arc::new(AtomicU64::new(0));
+        let (s2, f2, h2) = (started.clone(), finished.clone(), hits.clone());
+        let mut s = Session::new().with_progress(move |p| match p {
+            Progress::Started { .. } => {
+                s2.fetch_add(1, Ordering::Relaxed);
+            }
+            Progress::Finished { timing, .. } => {
+                assert!(timing.total() > Duration::ZERO);
+                f2.fetch_add(1, Ordering::Relaxed);
+            }
+            Progress::Hit { .. } => {
+                h2.fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        let cfg = Config::baseline(CheckingMode::None);
+        s.measure("frl", cfg).unwrap();
+        s.measure("frl", cfg).unwrap();
+        assert_eq!(started.load(Ordering::Relaxed), 1);
+        assert_eq!(finished.load(Ordering::Relaxed), 1);
+        assert_eq!(hits.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn summary_mentions_cache_and_split() {
+        let mut s = Session::new();
+        s.measure("frl", Config::baseline(CheckingMode::None)).unwrap();
+        let text = s.summary();
+        assert!(text.contains("1 measurements cached"), "{text}");
+        assert!(text.contains("compile"), "{text}");
+        assert!(text.contains("slowest: frl"), "{text}");
+    }
+}

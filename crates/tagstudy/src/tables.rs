@@ -1,11 +1,19 @@
 //! Computation of every table and figure in the paper's evaluation.
+//!
+//! Each `*_for` function is a pure projection over a [`Session`]: it asks the
+//! session for the measurements it needs and folds them into a table struct.
+//! Because many tables share configurations (Table 1, Figure 1 and Table 3 all
+//! want the HighTag5 baseline; Table 2 revisits several hardware levels), one
+//! session regenerating everything compiles and simulates each
+//! `(program, Config)` point exactly once.
 
 use lisp::CheckingMode;
 use mipsx::{CheckCat, HwConfig, InsnClass, ParallelCheck, Provenance, TagOpKind};
 use tagword::TagScheme;
 
 use crate::config::Config;
-use crate::measure::{run_program, Measurement, StudyError};
+use crate::measure::{Measurement, StudyError};
+use crate::session::Session;
 
 fn pct(part: u64, whole: u64) -> f64 {
     if whole == 0 {
@@ -26,23 +34,6 @@ fn pct_delta(base: u64, variant: u64) -> f64 {
 /// The default program set: all ten benchmarks.
 pub fn default_programs() -> Vec<&'static str> {
     programs::all().iter().map(|b| b.name).collect()
-}
-
-fn run_set(names: &[&str], config: &Config) -> Result<Vec<Measurement>, StudyError> {
-    // Parallel across programs: each simulation is independent.
-    let mut out: Vec<Option<Result<Measurement, StudyError>>> =
-        names.iter().map(|_| None).collect();
-    std::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for name in names {
-            let cfg = *config;
-            handles.push(scope.spawn(move || run_program(name, &cfg)));
-        }
-        for (slot, h) in out.iter_mut().zip(handles) {
-            *slot = Some(h.join().expect("measurement thread"));
-        }
-    });
-    out.into_iter().map(|r| r.expect("filled")).collect()
 }
 
 // ===========================================================================
@@ -79,9 +70,9 @@ pub struct Table1 {
 /// # Errors
 ///
 /// Any measurement failure.
-pub fn table1_for(names: &[&str]) -> Result<Table1, StudyError> {
-    let base = run_set(names, &Config::baseline(CheckingMode::None))?;
-    let full = run_set(names, &Config::baseline(CheckingMode::Full))?;
+pub fn table1_for(session: &mut Session, names: &[&str]) -> Result<Table1, StudyError> {
+    let base = session.measure_set(names, Config::baseline(CheckingMode::None))?;
+    let full = session.measure_set(names, Config::baseline(CheckingMode::Full))?;
     let mut rows = Vec::new();
     for (b, f) in base.iter().zip(&full) {
         let t0 = b.stats.cycles;
@@ -109,8 +100,9 @@ pub fn table1_for(names: &[&str]) -> Result<Table1, StudyError> {
 /// # Errors
 ///
 /// Any measurement failure.
+#[deprecated(since = "0.2.0", note = "use `table1_for` with a shared `Session`")]
 pub fn table1() -> Result<Table1, StudyError> {
-    table1_for(&default_programs())
+    table1_for(&mut Session::new(), &default_programs())
 }
 
 // ===========================================================================
@@ -154,9 +146,9 @@ pub struct Figure1 {
 /// # Errors
 ///
 /// Any measurement failure.
-pub fn figure1_for(names: &[&str]) -> Result<Figure1, StudyError> {
-    let base = run_set(names, &Config::baseline(CheckingMode::None))?;
-    let full = run_set(names, &Config::baseline(CheckingMode::Full))?;
+pub fn figure1_for(session: &mut Session, names: &[&str]) -> Result<Figure1, StudyError> {
+    let base = session.measure_set(names, Config::baseline(CheckingMode::None))?;
+    let full = session.measure_set(names, Config::baseline(CheckingMode::Full))?;
     let ops = [
         TagOpKind::Insert,
         TagOpKind::Remove,
@@ -202,8 +194,9 @@ pub fn figure1_for(names: &[&str]) -> Result<Figure1, StudyError> {
 /// # Errors
 ///
 /// Any measurement failure.
+#[deprecated(since = "0.2.0", note = "use `figure1_for` with a shared `Session`")]
 pub fn figure1() -> Result<Figure1, StudyError> {
-    figure1_for(&default_programs())
+    figure1_for(&mut Session::new(), &default_programs())
 }
 
 // ===========================================================================
@@ -232,11 +225,11 @@ pub struct Figure2 {
 /// # Errors
 ///
 /// Any measurement failure.
-pub fn figure2_for(names: &[&str]) -> Result<Figure2, StudyError> {
-    let base = run_set(names, &Config::baseline(CheckingMode::None))?;
-    let nomask = run_set(
+pub fn figure2_for(session: &mut Session, names: &[&str]) -> Result<Figure2, StudyError> {
+    let base = session.measure_set(names, Config::baseline(CheckingMode::None))?;
+    let nomask = session.measure_set(
         names,
-        &Config::baseline(CheckingMode::None).with_hw(HwConfig::with_address_drop(5)),
+        Config::baseline(CheckingMode::None).with_hw(HwConfig::with_address_drop(5)),
     )?;
     let n = names.len() as f64;
     let (mut and_, mut mov, mut noop, mut squash, mut total) = (0.0, 0.0, 0.0, 0.0, 0.0);
@@ -265,8 +258,9 @@ pub fn figure2_for(names: &[&str]) -> Result<Figure2, StudyError> {
 /// # Errors
 ///
 /// Any measurement failure.
+#[deprecated(since = "0.2.0", note = "use `figure2_for` with a shared `Session`")]
 pub fn figure2() -> Result<Figure2, StudyError> {
-    figure2_for(&default_programs())
+    figure2_for(&mut Session::new(), &default_programs())
 }
 
 // ===========================================================================
@@ -335,16 +329,17 @@ struct ModeResults {
     spur: Vec<Measurement>,
 }
 
-fn run_mode(names: &[&str], checking: CheckingMode) -> Result<ModeResults, StudyError> {
-    let base = run_set(names, &Config::baseline(checking))?;
+fn run_mode(
+    session: &mut Session,
+    names: &[&str],
+    checking: CheckingMode,
+) -> Result<ModeResults, StudyError> {
+    let base = session.measure_set(names, Config::baseline(checking))?;
     let mut variants = Vec::new();
     for (_, hw) in row_hw() {
-        variants.push(run_set(names, &Config::baseline(checking).with_hw(hw))?);
+        variants.push(session.measure_set(names, Config::baseline(checking).with_hw(hw))?);
     }
-    let spur = run_set(
-        names,
-        &Config::baseline(checking).with_hw(HwConfig::spur(5)),
-    )?;
+    let spur = session.measure_set(names, Config::baseline(checking).with_hw(HwConfig::spur(5)))?;
     Ok(ModeResults {
         base,
         variants,
@@ -381,9 +376,9 @@ fn avg_bucket_reduction(
 /// # Errors
 ///
 /// Any measurement failure.
-pub fn table2_for(names: &[&str]) -> Result<Table2, StudyError> {
-    let none = run_mode(names, CheckingMode::None)?;
-    let full = run_mode(names, CheckingMode::Full)?;
+pub fn table2_for(session: &mut Session, names: &[&str]) -> Result<Table2, StudyError> {
+    let none = run_mode(session, names, CheckingMode::None)?;
+    let full = run_mode(session, names, CheckingMode::Full)?;
     let mut rows = Vec::new();
     for (i, (label, _)) in row_hw().into_iter().enumerate() {
         let none_pct = avg_speedup(&none.base, &none.variants[i]);
@@ -437,8 +432,9 @@ pub fn table2_for(names: &[&str]) -> Result<Table2, StudyError> {
 /// # Errors
 ///
 /// Any measurement failure.
+#[deprecated(since = "0.2.0", note = "use `table2_for` with a shared `Session`")]
 pub fn table2() -> Result<Table2, StudyError> {
-    table2_for(&default_programs())
+    table2_for(&mut Session::new(), &default_programs())
 }
 
 // ===========================================================================
@@ -458,29 +454,34 @@ pub struct Table3Row {
     pub object_words: usize,
 }
 
-/// Compute Table 3 (compilation only; nothing is executed).
+/// Compute Table 3 over `names`: static statistics, projected from the
+/// unchecked-baseline measurements (which Table 1 and Figure 1 share, so in a
+/// combined run this row costs nothing extra).
 ///
 /// # Errors
 ///
-/// Compile failures only.
+/// Any measurement failure.
+pub fn table3_for(session: &mut Session, names: &[&str]) -> Result<Vec<Table3Row>, StudyError> {
+    let base = session.measure_set(names, Config::baseline(CheckingMode::None))?;
+    Ok(base
+        .iter()
+        .map(|m| Table3Row {
+            program: m.program.clone(),
+            procedures: m.compile.procedures,
+            source_lines: m.compile.source_lines,
+            object_words: m.compile.object_words,
+        })
+        .collect())
+}
+
+/// Table 3 over the full benchmark set.
+///
+/// # Errors
+///
+/// Any measurement failure.
+#[deprecated(since = "0.2.0", note = "use `table3_for` with a shared `Session`")]
 pub fn table3() -> Result<Vec<Table3Row>, StudyError> {
-    let cfg = Config::baseline(CheckingMode::None);
-    let mut rows = Vec::new();
-    for b in programs::all() {
-        let compiled = b
-            .compile(&cfg.to_options())
-            .map_err(|e| StudyError::Compile {
-                program: b.name.to_string(),
-                message: e.to_string(),
-            })?;
-        rows.push(Table3Row {
-            program: b.name.to_string(),
-            procedures: compiled.stats.procedures,
-            source_lines: compiled.stats.source_lines,
-            object_words: compiled.stats.object_words,
-        });
-    }
-    Ok(rows)
+    table3_for(&mut Session::new(), &default_programs())
 }
 
 // ===========================================================================
@@ -501,11 +502,14 @@ pub struct PreshiftStudy {
 /// # Errors
 ///
 /// Any measurement failure.
-pub fn preshift_study_for(names: &[&str]) -> Result<PreshiftStudy, StudyError> {
-    let base = run_set(names, &Config::baseline(CheckingMode::None))?;
-    let pre = run_set(
+pub fn preshift_study_for(
+    session: &mut Session,
+    names: &[&str],
+) -> Result<PreshiftStudy, StudyError> {
+    let base = session.measure_set(names, Config::baseline(CheckingMode::None))?;
+    let pre = session.measure_set(
         names,
-        &Config {
+        Config {
             preshifted_pair_tag: true,
             ..Config::baseline(CheckingMode::None)
         },
@@ -572,7 +576,10 @@ fn arith_share(m: &Measurement) -> f64 {
 /// # Errors
 ///
 /// Any measurement failure.
-pub fn generic_arith_study_for(names: &[&str]) -> Result<GenericArithStudy, StudyError> {
+pub fn generic_arith_study_for(
+    session: &mut Session,
+    names: &[&str],
+) -> Result<GenericArithStudy, StudyError> {
     let avg = |ms: &[Measurement]| ms.iter().map(arith_share).sum::<f64>() / ms.len() as f64;
     let rat_of = |ms: &[Measurement]| {
         ms.iter()
@@ -581,14 +588,15 @@ pub fn generic_arith_study_for(names: &[&str]) -> Result<GenericArithStudy, Stud
             .unwrap_or(0.0)
     };
 
-    let sw = run_set(names, &Config::baseline(CheckingMode::Full))?;
-    let safe = run_set(names, &Config::new(TagScheme::HighTag6, CheckingMode::Full))?;
-    let hw = run_set(
+    let sw = session.measure_set(names, Config::baseline(CheckingMode::Full))?;
+    let safe = session.measure_set(names, Config::new(TagScheme::HighTag6, CheckingMode::Full))?;
+    let hw = session.measure_set(
         names,
-        &Config::baseline(CheckingMode::Full).with_hw(HwConfig::with_generic_arith()),
+        Config::baseline(CheckingMode::Full).with_hw(HwConfig::with_generic_arith()),
     )?;
 
-    // The wrong-bias sweep is not one of the ten benchmarks; compile it inline.
+    // The wrong-bias sweep is not one of the ten benchmarks, so it is not a
+    // cacheable (program, Config) point; compile it inline.
     let sweep = |hw: HwConfig| -> Result<(f64, u64), StudyError> {
         let opts = lisp::Options {
             hw,
@@ -638,11 +646,14 @@ pub struct IntTestStudy {
 /// # Errors
 ///
 /// Any measurement failure.
-pub fn int_test_study_for(names: &[&str]) -> Result<IntTestStudy, StudyError> {
-    let base = run_set(names, &Config::baseline(CheckingMode::Full))?;
-    let m1 = run_set(
+pub fn int_test_study_for(
+    session: &mut Session,
+    names: &[&str],
+) -> Result<IntTestStudy, StudyError> {
+    let base = session.measure_set(names, Config::baseline(CheckingMode::Full))?;
+    let m1 = session.measure_set(
         names,
-        &Config {
+        Config {
             int_test_method: lisp::IntTestMethod::TagCompare,
             ..Config::baseline(CheckingMode::Full)
         },
@@ -668,13 +679,16 @@ pub struct SchemeComparison {
 /// # Errors
 ///
 /// Any measurement failure.
-pub fn scheme_comparison_for(names: &[&str]) -> Result<SchemeComparison, StudyError> {
-    let base_n = run_set(names, &Config::baseline(CheckingMode::None))?;
-    let base_f = run_set(names, &Config::baseline(CheckingMode::Full))?;
+pub fn scheme_comparison_for(
+    session: &mut Session,
+    names: &[&str],
+) -> Result<SchemeComparison, StudyError> {
+    let base_n = session.measure_set(names, Config::baseline(CheckingMode::None))?;
+    let base_f = session.measure_set(names, Config::baseline(CheckingMode::Full))?;
     let mut rows = Vec::new();
     for scheme in tagword::ALL_SCHEMES {
-        let n = run_set(names, &Config::new(scheme, CheckingMode::None))?;
-        let f = run_set(names, &Config::new(scheme, CheckingMode::Full))?;
+        let n = session.measure_set(names, Config::new(scheme, CheckingMode::None))?;
+        let f = session.measure_set(names, Config::new(scheme, CheckingMode::Full))?;
         rows.push((scheme, avg_speedup(&base_n, &n), avg_speedup(&base_f, &f)));
     }
     Ok(SchemeComparison { rows })
@@ -690,7 +704,8 @@ mod tests {
 
     #[test]
     fn table1_small_subset() {
-        let t = table1_for(SMALL).unwrap();
+        let mut s = Session::new();
+        let t = table1_for(&mut s, SMALL).unwrap();
         assert_eq!(t.rows.len(), 2);
         for r in &t.rows {
             assert!(r.total > 0.0, "{}: checking must cost time", r.program);
@@ -704,11 +719,12 @@ mod tests {
         let trav = t.rows.iter().find(|r| r.program == "trav").unwrap();
         let frl = t.rows.iter().find(|r| r.program == "frl").unwrap();
         assert!(trav.vector > frl.vector, "trav leads the vector column");
+        assert_eq!(s.stats().misses, 4, "2 programs x 2 configs");
     }
 
     #[test]
     fn figure1_small_subset() {
-        let f = figure1_for(SMALL).unwrap();
+        let f = figure1_for(&mut Session::new(), SMALL).unwrap();
         assert_eq!(f.entries.len(), 5);
         let check = f.entries.iter().find(|e| e.op == TagOpKind::Check).unwrap();
         assert!(check.with_added > 0.0, "checking adds check cycles");
@@ -721,7 +737,7 @@ mod tests {
 
     #[test]
     fn figure2_small_subset() {
-        let f = figure2_for(SMALL).unwrap();
+        let f = figure2_for(&mut Session::new(), SMALL).unwrap();
         assert!(f.and_ > 0.0, "masking ands disappear");
         assert!(f.total > 0.0, "eliminating masking is a net win");
         assert!(
@@ -732,7 +748,7 @@ mod tests {
 
     #[test]
     fn preshift_small_subset() {
-        let p = preshift_study_for(&["frl"]).unwrap();
+        let p = preshift_study_for(&mut Session::new(), &["frl"]).unwrap();
         assert!(p.insertion_pct > 0.0);
         assert!(p.speedup_pct >= 0.0);
         assert!(
@@ -743,7 +759,7 @@ mod tests {
 
     #[test]
     fn table3_matches_compile_stats() {
-        let t = table3().unwrap();
+        let t = table3_for(&mut Session::new(), &default_programs()).unwrap();
         assert_eq!(t.len(), 10);
         for r in &t {
             assert!(r.procedures >= 20, "{}", r.program);
@@ -753,5 +769,19 @@ mod tests {
         let d = t.iter().find(|r| r.program == "deduce").unwrap();
         let g = t.iter().find(|r| r.program == "dedgc").unwrap();
         assert_eq!(d.object_words, g.object_words);
+    }
+
+    #[test]
+    fn tables_share_a_session_cache() {
+        let mut s = Session::new();
+        table1_for(&mut s, SMALL).unwrap();
+        let misses_after_t1 = s.stats().misses;
+        // Figure 1 wants exactly Table 1's two configurations.
+        figure1_for(&mut s, SMALL).unwrap();
+        assert_eq!(s.stats().misses, misses_after_t1, "figure1 fully cached");
+        assert!(s.stats().hits >= 4);
+        // Table 3 projects static stats out of the same baseline runs.
+        table3_for(&mut s, SMALL).unwrap();
+        assert_eq!(s.stats().misses, misses_after_t1, "table3 fully cached");
     }
 }

@@ -1,0 +1,57 @@
+//! Session engine integration tests: memoization across table regenerations,
+//! and determinism of the parallel worker pool.
+
+use std::num::NonZeroUsize;
+
+use tagstudy::{tables, CheckingMode, Config, Session};
+
+/// Regenerating Table 1 on a warm session must do zero new compiles or
+/// simulations — every request is a cache hit.
+#[test]
+fn warm_session_regenerates_table1_without_compiling() {
+    let names = ["frl", "trav", "boyer"];
+    let mut session = Session::new();
+
+    let first = tables::table1_for(&mut session, &names).unwrap();
+    let cold = session.stats();
+    assert_eq!(cold.misses, 6, "3 programs x 2 checking modes");
+    assert_eq!(cold.hits, 0);
+
+    let second = tables::table1_for(&mut session, &names).unwrap();
+    let warm = session.stats();
+    assert_eq!(warm.misses, cold.misses, "warm run compiles nothing");
+    assert_eq!(warm.hits, 6, "every warm request is a hit");
+    assert_eq!(
+        warm.work_time(),
+        cold.work_time(),
+        "no new wall time attributed"
+    );
+
+    for (a, b) in first.rows.iter().zip(&second.rows) {
+        assert_eq!(a.program, b.program);
+        assert_eq!(a.total, b.total, "{}: cached rows identical", a.program);
+    }
+}
+
+/// The worker pool must not perturb results: a parallel session and a strictly
+/// serial one produce identical `Stats` for every program.
+#[test]
+fn parallel_and_serial_sessions_agree() {
+    let names = tables::default_programs();
+    let config = Config::baseline(CheckingMode::None);
+
+    let mut parallel = Session::new().with_parallelism(NonZeroUsize::new(8).unwrap());
+    let mut serial = Session::serial();
+    let par = parallel.measure_set(&names, config).unwrap();
+    let ser = serial.measure_set(&names, config).unwrap();
+
+    assert_eq!(par.len(), names.len());
+    for ((p, s), name) in par.iter().zip(&ser).zip(&names) {
+        assert_eq!(p.program, *name, "request order preserved");
+        assert_eq!(s.program, *name);
+        assert_eq!(p.stats, s.stats, "{name}: parallel == serial");
+        assert_eq!(p.compile.object_words, s.compile.object_words, "{name}");
+    }
+    assert_eq!(parallel.stats().misses, names.len() as u64);
+    assert_eq!(serial.stats().misses, names.len() as u64);
+}

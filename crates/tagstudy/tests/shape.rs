@@ -3,21 +3,23 @@
 
 use mipsx::{HwConfig, ParallelCheck};
 use tagstudy::tables;
-use tagstudy::{run_program, CheckingMode, Config};
+use tagstudy::{CheckingMode, Config, Session};
 
 const SET: &[&str] = &["deduce", "trav", "boyer"];
 
+fn total_cycles(session: &mut Session, config: Config) -> u64 {
+    session
+        .measure_set(SET, config)
+        .unwrap()
+        .iter()
+        .map(|m| m.stats.cycles)
+        .sum()
+}
+
 #[test]
 fn support_levels_never_hurt_and_max_wins() {
-    let base: u64 = SET
-        .iter()
-        .map(|n| {
-            run_program(n, &Config::baseline(CheckingMode::Full))
-                .unwrap()
-                .stats
-                .cycles
-        })
-        .sum();
+    let mut session = Session::new();
+    let base = total_cycles(&mut session, Config::baseline(CheckingMode::Full));
     let mut cycles = Vec::new();
     for hw in [
         HwConfig::with_address_drop(5),
@@ -27,15 +29,10 @@ fn support_levels_never_hurt_and_max_wins() {
         HwConfig::with_parallel_check(ParallelCheck::All),
         HwConfig::maximal(5),
     ] {
-        let c: u64 = SET
-            .iter()
-            .map(|n| {
-                run_program(n, &Config::baseline(CheckingMode::Full).with_hw(hw))
-                    .unwrap()
-                    .stats
-                    .cycles
-            })
-            .sum();
+        let c = total_cycles(
+            &mut session,
+            Config::baseline(CheckingMode::Full).with_hw(hw),
+        );
         assert!(c <= base, "{hw:?} must not slow programs down");
         cycles.push(c);
     }
@@ -51,7 +48,7 @@ fn support_levels_never_hurt_and_max_wins() {
 
 #[test]
 fn figure2_shape_on_subset() {
-    let f = tables::figure2_for(SET).expect("measures");
+    let f = tables::figure2_for(&mut Session::new(), SET).expect("measures");
     assert!(f.and_ > 0.5, "masking ands removed");
     assert!(
         f.total > 0.0 && f.total <= f.and_ + 0.5,
@@ -61,9 +58,14 @@ fn figure2_shape_on_subset() {
 
 #[test]
 fn checking_is_never_free() {
+    let mut session = Session::new();
     for name in SET {
-        let none = run_program(name, &Config::baseline(CheckingMode::None)).unwrap();
-        let full = run_program(name, &Config::baseline(CheckingMode::Full)).unwrap();
+        let none = session
+            .measure(name, Config::baseline(CheckingMode::None))
+            .unwrap();
+        let full = session
+            .measure(name, Config::baseline(CheckingMode::Full))
+            .unwrap();
         let pct = 100.0 * (full.stats.cycles - none.stats.cycles) as f64 / none.stats.cycles as f64;
         assert!(
             (5.0..150.0).contains(&pct),
@@ -75,25 +77,16 @@ fn checking_is_never_free() {
 #[test]
 fn low_tags_beat_high_tags_without_hardware() {
     // The paper's software conclusion on this subset.
+    let mut session = Session::new();
     for checking in [CheckingMode::None, CheckingMode::Full] {
-        let high: u64 = SET
-            .iter()
-            .map(|n| {
-                run_program(n, &Config::new(tagword::TagScheme::HighTag5, checking))
-                    .unwrap()
-                    .stats
-                    .cycles
-            })
-            .sum();
-        let low: u64 = SET
-            .iter()
-            .map(|n| {
-                run_program(n, &Config::new(tagword::TagScheme::LowTag3, checking))
-                    .unwrap()
-                    .stats
-                    .cycles
-            })
-            .sum();
+        let high = total_cycles(
+            &mut session,
+            Config::new(tagword::TagScheme::HighTag5, checking),
+        );
+        let low = total_cycles(
+            &mut session,
+            Config::new(tagword::TagScheme::LowTag3, checking),
+        );
         assert!(
             low < high,
             "{checking:?}: low tags must win ({low} vs {high})"

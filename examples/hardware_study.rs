@@ -4,7 +4,7 @@
 //! Run with: `cargo run --release --example hardware_study [benchmark]`
 
 use tags_repro::mipsx::{HwConfig, ParallelCheck};
-use tags_repro::tagstudy::{run_program, CheckingMode, Config};
+use tags_repro::tagstudy::{CheckingMode, Config, Session};
 
 fn main() {
     let name = std::env::args()
@@ -39,15 +39,27 @@ fn main() {
         ("SPUR-like (§7)", HwConfig::spur(5)),
     ];
 
+    // Batch all nine configurations up front so the session's worker pool can
+    // measure them concurrently.
+    let mut session = Session::new();
+    let requests: Vec<(&str, Config)> = rows
+        .iter()
+        .map(|(_, hw)| {
+            (
+                name.as_str(),
+                Config::baseline(CheckingMode::Full).with_hw(*hw),
+            )
+        })
+        .collect();
+    let measurements = session.measure_many(&requests).expect("benchmarks run");
+
     println!("benchmark: {name} (HighTag5, full run-time checking)\n");
     println!(
         "{:<28} {:>12} {:>10} {:>8} {:>7}",
         "hardware", "cycles", "saved", "traps", "noops"
     );
     let mut base = None;
-    for (label, hw) in rows {
-        let cfg = Config::baseline(CheckingMode::Full).with_hw(hw);
-        let m = run_program(&name, &cfg).expect("benchmark runs");
+    for ((label, _), m) in rows.iter().zip(&measurements) {
         let b = *base.get_or_insert(m.stats.cycles);
         let saved = 100.0 * (b as f64 - m.stats.cycles as f64) / b as f64;
         println!(
@@ -58,4 +70,5 @@ fn main() {
         );
     }
     println!("\n('saved' is the paper's Table 2 metric: % of baseline cycles eliminated)");
+    eprint!("{}", session.summary());
 }

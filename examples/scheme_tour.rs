@@ -5,7 +5,7 @@
 //! Run with: `cargo run --release --example scheme_tour [benchmark]`
 
 use tags_repro::mipsx::TagOpKind;
-use tags_repro::tagstudy::{run_program, CheckingMode, Config};
+use tags_repro::tagstudy::{CheckingMode, Config, Session};
 use tags_repro::tagword::ALL_SCHEMES;
 
 fn main() {
@@ -24,6 +24,21 @@ fn main() {
         std::process::exit(1);
     }
 
+    // One batch of all eight (scheme, mode) points; the session runs them on
+    // its worker pool and hands back results in request order.
+    let mut session = Session::new();
+    let name_ref = name.as_str();
+    let requests: Vec<(&str, Config)> = [CheckingMode::None, CheckingMode::Full]
+        .iter()
+        .flat_map(|&checking| {
+            ALL_SCHEMES
+                .into_iter()
+                .map(move |scheme| (name_ref, Config::new(scheme, checking)))
+        })
+        .collect();
+    let measurements = session.measure_many(&requests).expect("benchmarks run");
+    let mut results = measurements.iter();
+
     println!("benchmark: {name}\n");
     println!(
         "{:<7} {:<6} {:>12} {:>9} {:>9} {:>9} {:>9} {:>9}",
@@ -32,7 +47,7 @@ fn main() {
     for checking in [CheckingMode::None, CheckingMode::Full] {
         let mut base_cycles = None;
         for scheme in ALL_SCHEMES {
-            let m = run_program(&name, &Config::new(scheme, checking)).expect("benchmark runs");
+            let m = results.next().expect("one result per request");
             let base = *base_cycles.get_or_insert(m.stats.cycles);
             let rel = 100.0 * (base as f64 - m.stats.cycles as f64) / base as f64;
             println!(
@@ -50,4 +65,5 @@ fn main() {
         println!();
     }
     println!("(positive 'vs high5' = cycles saved relative to the paper's baseline scheme)");
+    eprint!("{}", session.summary());
 }

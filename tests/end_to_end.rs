@@ -3,7 +3,7 @@
 
 use tags_repro::lisp::{compile, run, CheckingMode, Options};
 use tags_repro::mipsx::{CheckCat, HwConfig, Provenance, TagOpKind};
-use tags_repro::tagstudy::{run_program, Config};
+use tags_repro::tagstudy::{Config, Session};
 use tags_repro::tagword::{TagScheme, ALL_SCHEMES};
 
 const SRC_LIST_WALK: &str = r#"
@@ -122,13 +122,17 @@ fn checking_delta_matches_attributed_checking_cycles() {
 
 #[test]
 fn measurement_framework_round_trips() {
-    let m = run_program("rat", &Config::baseline(CheckingMode::Full)).unwrap();
+    let mut session = Session::new();
+    let m = session
+        .measure("rat", Config::baseline(CheckingMode::Full))
+        .unwrap();
     assert_eq!(m.program, "rat");
     assert!(
         m.stats.checking_cycles(CheckCat::Arith) > 0,
         "rat does checked arithmetic"
     );
     assert!(m.compile.object_words > 1000);
+    assert_eq!(session.stats().misses, 1);
 }
 
 #[test]
