@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/all_experiments-0448371a694bea4d.d: crates/bench/src/bin/all_experiments.rs
+
+/root/repo/target/debug/deps/all_experiments-0448371a694bea4d: crates/bench/src/bin/all_experiments.rs
+
+crates/bench/src/bin/all_experiments.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/all_experiments-fa21ff9daa7344d9.d: crates/bench/src/bin/all_experiments.rs
+
+/root/repo/target/debug/deps/all_experiments-fa21ff9daa7344d9: crates/bench/src/bin/all_experiments.rs
+
+crates/bench/src/bin/all_experiments.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/all_experiments-fcd5c9c8cacd1094.d: crates/bench/src/bin/all_experiments.rs
+
+/root/repo/target/debug/deps/all_experiments-fcd5c9c8cacd1094: crates/bench/src/bin/all_experiments.rs
+
+crates/bench/src/bin/all_experiments.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench-1adb00c0ddba08ec.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/bench-1adb00c0ddba08ec: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

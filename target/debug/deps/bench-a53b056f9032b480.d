@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/bench-a53b056f9032b480.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libbench-a53b056f9032b480.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libbench-a53b056f9032b480.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

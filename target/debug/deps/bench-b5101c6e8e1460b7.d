@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/bench-b5101c6e8e1460b7.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libbench-b5101c6e8e1460b7.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libbench-b5101c6e8e1460b7.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

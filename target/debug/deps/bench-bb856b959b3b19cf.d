@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench-bb856b959b3b19cf.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/bench-bb856b959b3b19cf: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

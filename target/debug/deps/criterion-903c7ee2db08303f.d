@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/criterion-903c7ee2db08303f.d: crates/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-903c7ee2db08303f.rlib: crates/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-903c7ee2db08303f.rmeta: crates/criterion/src/lib.rs
+
+crates/criterion/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-f60ba7321a3ebc6b.d: crates/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/criterion-f60ba7321a3ebc6b: crates/criterion/src/lib.rs
+
+crates/criterion/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/differential-5d13b505abd22011.d: crates/lisp/tests/differential.rs
+
+/root/repo/target/debug/deps/differential-5d13b505abd22011: crates/lisp/tests/differential.rs
+
+crates/lisp/tests/differential.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/differential-6833ec25e77f630d.d: crates/lisp/tests/differential.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdifferential-6833ec25e77f630d.rmeta: crates/lisp/tests/differential.rs Cargo.toml
+
+crates/lisp/tests/differential.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/differential-6fd61543a8c6b0d7.d: crates/lisp/tests/differential.rs
+
+/root/repo/target/debug/deps/differential-6fd61543a8c6b0d7: crates/lisp/tests/differential.rs
+
+crates/lisp/tests/differential.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-0b9b69f728a7ff2b.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-0b9b69f728a7ff2b: tests/end_to_end.rs
+
+tests/end_to_end.rs:

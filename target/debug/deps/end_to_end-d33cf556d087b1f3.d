@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-d33cf556d087b1f3.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-d33cf556d087b1f3: tests/end_to_end.rs
+
+tests/end_to_end.rs:

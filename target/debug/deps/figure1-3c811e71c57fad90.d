@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure1-3c811e71c57fad90.d: crates/bench/src/bin/figure1.rs
+
+/root/repo/target/debug/deps/figure1-3c811e71c57fad90: crates/bench/src/bin/figure1.rs
+
+crates/bench/src/bin/figure1.rs:

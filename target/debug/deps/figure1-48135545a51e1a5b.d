@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure1-48135545a51e1a5b.d: crates/bench/src/bin/figure1.rs
+
+/root/repo/target/debug/deps/figure1-48135545a51e1a5b: crates/bench/src/bin/figure1.rs
+
+crates/bench/src/bin/figure1.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/figure1-89e6b85acdec40d5.d: crates/bench/src/bin/figure1.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfigure1-89e6b85acdec40d5.rmeta: crates/bench/src/bin/figure1.rs Cargo.toml
+
+crates/bench/src/bin/figure1.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

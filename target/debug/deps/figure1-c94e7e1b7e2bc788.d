@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/figure1-c94e7e1b7e2bc788.d: crates/bench/src/bin/figure1.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfigure1-c94e7e1b7e2bc788.rmeta: crates/bench/src/bin/figure1.rs Cargo.toml
+
+crates/bench/src/bin/figure1.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

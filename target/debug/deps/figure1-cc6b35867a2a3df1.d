@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure1-cc6b35867a2a3df1.d: crates/bench/src/bin/figure1.rs
+
+/root/repo/target/debug/deps/figure1-cc6b35867a2a3df1: crates/bench/src/bin/figure1.rs
+
+crates/bench/src/bin/figure1.rs:

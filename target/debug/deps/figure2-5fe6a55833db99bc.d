@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/figure2-5fe6a55833db99bc.d: crates/bench/src/bin/figure2.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfigure2-5fe6a55833db99bc.rmeta: crates/bench/src/bin/figure2.rs Cargo.toml
+
+crates/bench/src/bin/figure2.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

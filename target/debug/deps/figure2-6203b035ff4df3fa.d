@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure2-6203b035ff4df3fa.d: crates/bench/src/bin/figure2.rs
+
+/root/repo/target/debug/deps/figure2-6203b035ff4df3fa: crates/bench/src/bin/figure2.rs
+
+crates/bench/src/bin/figure2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure2-742b40186febff7d.d: crates/bench/src/bin/figure2.rs
+
+/root/repo/target/debug/deps/figure2-742b40186febff7d: crates/bench/src/bin/figure2.rs
+
+crates/bench/src/bin/figure2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure2-e73bd356fb1c02e3.d: crates/bench/src/bin/figure2.rs
+
+/root/repo/target/debug/deps/figure2-e73bd356fb1c02e3: crates/bench/src/bin/figure2.rs
+
+crates/bench/src/bin/figure2.rs:

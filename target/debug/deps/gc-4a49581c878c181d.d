@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gc-4a49581c878c181d.d: crates/lisp/tests/gc.rs
+
+/root/repo/target/debug/deps/gc-4a49581c878c181d: crates/lisp/tests/gc.rs
+
+crates/lisp/tests/gc.rs:

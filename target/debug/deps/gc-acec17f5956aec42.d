@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/gc-acec17f5956aec42.d: crates/lisp/tests/gc.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgc-acec17f5956aec42.rmeta: crates/lisp/tests/gc.rs Cargo.toml
+
+crates/lisp/tests/gc.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gc-ddb63682ec5d711f.d: crates/lisp/tests/gc.rs
+
+/root/repo/target/debug/deps/gc-ddb63682ec5d711f: crates/lisp/tests/gc.rs
+
+crates/lisp/tests/gc.rs:

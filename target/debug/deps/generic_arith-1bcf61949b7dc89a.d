@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/generic_arith-1bcf61949b7dc89a.d: crates/bench/src/bin/generic_arith.rs
+
+/root/repo/target/debug/deps/generic_arith-1bcf61949b7dc89a: crates/bench/src/bin/generic_arith.rs
+
+crates/bench/src/bin/generic_arith.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/generic_arith-32fae81bccaeaf18.d: crates/bench/src/bin/generic_arith.rs
+
+/root/repo/target/debug/deps/generic_arith-32fae81bccaeaf18: crates/bench/src/bin/generic_arith.rs
+
+crates/bench/src/bin/generic_arith.rs:

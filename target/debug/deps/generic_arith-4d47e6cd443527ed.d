@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/generic_arith-4d47e6cd443527ed.d: crates/bench/src/bin/generic_arith.rs
+
+/root/repo/target/debug/deps/generic_arith-4d47e6cd443527ed: crates/bench/src/bin/generic_arith.rs
+
+crates/bench/src/bin/generic_arith.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/generic_arith-e0c2c31ec26d80e6.d: crates/bench/src/bin/generic_arith.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgeneric_arith-e0c2c31ec26d80e6.rmeta: crates/bench/src/bin/generic_arith.rs Cargo.toml
+
+crates/bench/src/bin/generic_arith.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hardware_ablation-0c000fbe3a40f0f8.d: crates/bench/benches/hardware_ablation.rs
+
+/root/repo/target/debug/deps/hardware_ablation-0c000fbe3a40f0f8: crates/bench/benches/hardware_ablation.rs
+
+crates/bench/benches/hardware_ablation.rs:

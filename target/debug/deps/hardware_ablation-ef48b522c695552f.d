@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hardware_ablation-ef48b522c695552f.d: crates/bench/benches/hardware_ablation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhardware_ablation-ef48b522c695552f.rmeta: crates/bench/benches/hardware_ablation.rs Cargo.toml
+
+crates/bench/benches/hardware_ablation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/language-05efc990187b9988.d: crates/lisp/tests/language.rs
+
+/root/repo/target/debug/deps/language-05efc990187b9988: crates/lisp/tests/language.rs
+
+crates/lisp/tests/language.rs:

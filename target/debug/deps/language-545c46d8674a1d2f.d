@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/language-545c46d8674a1d2f.d: crates/lisp/tests/language.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblanguage-545c46d8674a1d2f.rmeta: crates/lisp/tests/language.rs Cargo.toml
+
+crates/lisp/tests/language.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/language-58a2ae6155cd5ebe.d: crates/lisp/tests/language.rs
+
+/root/repo/target/debug/deps/language-58a2ae6155cd5ebe: crates/lisp/tests/language.rs
+
+crates/lisp/tests/language.rs:

@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/lisp-1bd4b0757bad8a00.d: crates/lisp/src/lib.rs crates/lisp/src/ast.rs crates/lisp/src/codegen.rs crates/lisp/src/compile.rs crates/lisp/src/error.rs crates/lisp/src/front.rs crates/lisp/src/layout.rs crates/lisp/src/prelude.rs crates/lisp/src/runtime.rs crates/lisp/src/sexp.rs crates/lisp/src/tagops.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblisp-1bd4b0757bad8a00.rmeta: crates/lisp/src/lib.rs crates/lisp/src/ast.rs crates/lisp/src/codegen.rs crates/lisp/src/compile.rs crates/lisp/src/error.rs crates/lisp/src/front.rs crates/lisp/src/layout.rs crates/lisp/src/prelude.rs crates/lisp/src/runtime.rs crates/lisp/src/sexp.rs crates/lisp/src/tagops.rs Cargo.toml
+
+crates/lisp/src/lib.rs:
+crates/lisp/src/ast.rs:
+crates/lisp/src/codegen.rs:
+crates/lisp/src/compile.rs:
+crates/lisp/src/error.rs:
+crates/lisp/src/front.rs:
+crates/lisp/src/layout.rs:
+crates/lisp/src/prelude.rs:
+crates/lisp/src/runtime.rs:
+crates/lisp/src/sexp.rs:
+crates/lisp/src/tagops.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

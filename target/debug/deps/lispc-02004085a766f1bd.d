@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/lispc-02004085a766f1bd.d: crates/lisp/src/bin/lispc.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblispc-02004085a766f1bd.rmeta: crates/lisp/src/bin/lispc.rs Cargo.toml
+
+crates/lisp/src/bin/lispc.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

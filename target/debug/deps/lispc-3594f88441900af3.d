@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lispc-3594f88441900af3.d: crates/lisp/src/bin/lispc.rs
+
+/root/repo/target/debug/deps/lispc-3594f88441900af3: crates/lisp/src/bin/lispc.rs
+
+crates/lisp/src/bin/lispc.rs:

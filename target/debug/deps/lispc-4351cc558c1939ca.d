@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lispc-4351cc558c1939ca.d: crates/lisp/src/bin/lispc.rs
+
+/root/repo/target/debug/deps/lispc-4351cc558c1939ca: crates/lisp/src/bin/lispc.rs
+
+crates/lisp/src/bin/lispc.rs:

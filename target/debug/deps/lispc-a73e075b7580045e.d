@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/lispc-a73e075b7580045e.d: crates/lisp/src/bin/lispc.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblispc-a73e075b7580045e.rmeta: crates/lisp/src/bin/lispc.rs Cargo.toml
+
+crates/lisp/src/bin/lispc.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lispc-c8e2bd994304ac37.d: crates/lisp/src/bin/lispc.rs
+
+/root/repo/target/debug/deps/lispc-c8e2bd994304ac37: crates/lisp/src/bin/lispc.rs
+
+crates/lisp/src/bin/lispc.rs:

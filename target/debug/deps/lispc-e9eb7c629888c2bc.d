@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lispc-e9eb7c629888c2bc.d: crates/lisp/src/bin/lispc.rs
+
+/root/repo/target/debug/deps/lispc-e9eb7c629888c2bc: crates/lisp/src/bin/lispc.rs
+
+crates/lisp/src/bin/lispc.rs:

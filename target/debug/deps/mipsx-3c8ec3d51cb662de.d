@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/mipsx-3c8ec3d51cb662de.d: crates/mipsx/src/lib.rs crates/mipsx/src/annot.rs crates/mipsx/src/asm.rs crates/mipsx/src/cpu.rs crates/mipsx/src/hw.rs crates/mipsx/src/insn.rs crates/mipsx/src/mem.rs crates/mipsx/src/program.rs crates/mipsx/src/reg.rs crates/mipsx/src/stats.rs crates/mipsx/src/sched.rs crates/mipsx/src/verify.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmipsx-3c8ec3d51cb662de.rmeta: crates/mipsx/src/lib.rs crates/mipsx/src/annot.rs crates/mipsx/src/asm.rs crates/mipsx/src/cpu.rs crates/mipsx/src/hw.rs crates/mipsx/src/insn.rs crates/mipsx/src/mem.rs crates/mipsx/src/program.rs crates/mipsx/src/reg.rs crates/mipsx/src/stats.rs crates/mipsx/src/sched.rs crates/mipsx/src/verify.rs Cargo.toml
+
+crates/mipsx/src/lib.rs:
+crates/mipsx/src/annot.rs:
+crates/mipsx/src/asm.rs:
+crates/mipsx/src/cpu.rs:
+crates/mipsx/src/hw.rs:
+crates/mipsx/src/insn.rs:
+crates/mipsx/src/mem.rs:
+crates/mipsx/src/program.rs:
+crates/mipsx/src/reg.rs:
+crates/mipsx/src/stats.rs:
+crates/mipsx/src/sched.rs:
+crates/mipsx/src/verify.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/native_tagging-6392801c424a4e3d.d: crates/bench/benches/native_tagging.rs
+
+/root/repo/target/debug/deps/native_tagging-6392801c424a4e3d: crates/bench/benches/native_tagging.rs
+
+crates/bench/benches/native_tagging.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/native_tagging-eaaa1cb2fb00149a.d: crates/bench/benches/native_tagging.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnative_tagging-eaaa1cb2fb00149a.rmeta: crates/bench/benches/native_tagging.rs Cargo.toml
+
+crates/bench/benches/native_tagging.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,25 @@
+/root/repo/target/debug/deps/programs-4895a5401d31cca1.d: crates/programs/src/lib.rs crates/programs/src/../lisp/inter.lisp crates/programs/src/../lisp/deduce.lisp crates/programs/src/../lisp/rat.lisp crates/programs/src/../lisp/comp.lisp crates/programs/src/../lisp/opt.lisp crates/programs/src/../lisp/frl.lisp crates/programs/src/../lisp/boyer.lisp crates/programs/src/../lisp/brow.lisp crates/programs/src/../lisp/trav.lisp crates/programs/src/../expected/deduce.txt crates/programs/src/../expected/rat.txt crates/programs/src/../expected/comp.txt crates/programs/src/../expected/opt.txt crates/programs/src/../expected/frl.txt crates/programs/src/../expected/brow.txt crates/programs/src/../expected/trav.txt Cargo.toml
+
+/root/repo/target/debug/deps/libprograms-4895a5401d31cca1.rmeta: crates/programs/src/lib.rs crates/programs/src/../lisp/inter.lisp crates/programs/src/../lisp/deduce.lisp crates/programs/src/../lisp/rat.lisp crates/programs/src/../lisp/comp.lisp crates/programs/src/../lisp/opt.lisp crates/programs/src/../lisp/frl.lisp crates/programs/src/../lisp/boyer.lisp crates/programs/src/../lisp/brow.lisp crates/programs/src/../lisp/trav.lisp crates/programs/src/../expected/deduce.txt crates/programs/src/../expected/rat.txt crates/programs/src/../expected/comp.txt crates/programs/src/../expected/opt.txt crates/programs/src/../expected/frl.txt crates/programs/src/../expected/brow.txt crates/programs/src/../expected/trav.txt Cargo.toml
+
+crates/programs/src/lib.rs:
+crates/programs/src/../lisp/inter.lisp:
+crates/programs/src/../lisp/deduce.lisp:
+crates/programs/src/../lisp/rat.lisp:
+crates/programs/src/../lisp/comp.lisp:
+crates/programs/src/../lisp/opt.lisp:
+crates/programs/src/../lisp/frl.lisp:
+crates/programs/src/../lisp/boyer.lisp:
+crates/programs/src/../lisp/brow.lisp:
+crates/programs/src/../lisp/trav.lisp:
+crates/programs/src/../expected/deduce.txt:
+crates/programs/src/../expected/rat.txt:
+crates/programs/src/../expected/comp.txt:
+crates/programs/src/../expected/opt.txt:
+crates/programs/src/../expected/frl.txt:
+crates/programs/src/../expected/brow.txt:
+crates/programs/src/../expected/trav.txt:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-265b771a2377d0c8.d: crates/tagword/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-265b771a2377d0c8: crates/tagword/tests/properties.rs
+
+crates/tagword/tests/properties.rs:

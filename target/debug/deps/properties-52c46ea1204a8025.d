@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-52c46ea1204a8025.d: crates/tagword/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-52c46ea1204a8025.rmeta: crates/tagword/tests/properties.rs Cargo.toml
+
+crates/tagword/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

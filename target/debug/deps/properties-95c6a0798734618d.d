@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-95c6a0798734618d.d: crates/tagword/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-95c6a0798734618d: crates/tagword/tests/properties.rs
+
+crates/tagword/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-0a62dc18b33e8855.d: crates/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/proptest-0a62dc18b33e8855: crates/proptest/src/lib.rs
+
+crates/proptest/src/lib.rs:

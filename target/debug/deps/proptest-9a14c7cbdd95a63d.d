@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-9a14c7cbdd95a63d.d: crates/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-9a14c7cbdd95a63d.rlib: crates/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-9a14c7cbdd95a63d.rmeta: crates/proptest/src/lib.rs
+
+crates/proptest/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reader_prop-3946a2a33e495ebd.d: crates/lisp/tests/reader_prop.rs
+
+/root/repo/target/debug/deps/reader_prop-3946a2a33e495ebd: crates/lisp/tests/reader_prop.rs
+
+crates/lisp/tests/reader_prop.rs:

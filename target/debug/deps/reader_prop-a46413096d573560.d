@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reader_prop-a46413096d573560.d: crates/lisp/tests/reader_prop.rs
+
+/root/repo/target/debug/deps/reader_prop-a46413096d573560: crates/lisp/tests/reader_prop.rs
+
+crates/lisp/tests/reader_prop.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/reader_prop-ddb02cf06420d49a.d: crates/lisp/tests/reader_prop.rs Cargo.toml
+
+/root/repo/target/debug/deps/libreader_prop-ddb02cf06420d49a.rmeta: crates/lisp/tests/reader_prop.rs Cargo.toml
+
+crates/lisp/tests/reader_prop.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

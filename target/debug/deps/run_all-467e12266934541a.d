@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/run_all-467e12266934541a.d: crates/programs/tests/run_all.rs
+
+/root/repo/target/debug/deps/run_all-467e12266934541a: crates/programs/tests/run_all.rs
+
+crates/programs/tests/run_all.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/run_all-dc2414863fc0f1d2.d: crates/programs/tests/run_all.rs
+
+/root/repo/target/debug/deps/run_all-dc2414863fc0f1d2: crates/programs/tests/run_all.rs
+
+crates/programs/tests/run_all.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/run_all-f05443de90750bb0.d: crates/programs/tests/run_all.rs Cargo.toml
+
+/root/repo/target/debug/deps/librun_all-f05443de90750bb0.rmeta: crates/programs/tests/run_all.rs Cargo.toml
+
+crates/programs/tests/run_all.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

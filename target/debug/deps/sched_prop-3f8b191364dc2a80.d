@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sched_prop-3f8b191364dc2a80.d: crates/mipsx/tests/sched_prop.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsched_prop-3f8b191364dc2a80.rmeta: crates/mipsx/tests/sched_prop.rs Cargo.toml
+
+crates/mipsx/tests/sched_prop.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sched_prop-d2a1436a95a9e6e0.d: crates/mipsx/tests/sched_prop.rs
+
+/root/repo/target/debug/deps/sched_prop-d2a1436a95a9e6e0: crates/mipsx/tests/sched_prop.rs
+
+crates/mipsx/tests/sched_prop.rs:

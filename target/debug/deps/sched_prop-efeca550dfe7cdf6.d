@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sched_prop-efeca550dfe7cdf6.d: crates/mipsx/tests/sched_prop.rs
+
+/root/repo/target/debug/deps/sched_prop-efeca550dfe7cdf6: crates/mipsx/tests/sched_prop.rs
+
+crates/mipsx/tests/sched_prop.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scheme_ablation-5d62c62c0318d0c4.d: crates/bench/benches/scheme_ablation.rs
+
+/root/repo/target/debug/deps/scheme_ablation-5d62c62c0318d0c4: crates/bench/benches/scheme_ablation.rs
+
+crates/bench/benches/scheme_ablation.rs:

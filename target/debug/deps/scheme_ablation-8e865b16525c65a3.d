@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/scheme_ablation-8e865b16525c65a3.d: crates/bench/benches/scheme_ablation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libscheme_ablation-8e865b16525c65a3.rmeta: crates/bench/benches/scheme_ablation.rs Cargo.toml
+
+crates/bench/benches/scheme_ablation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sequences-0b5cb606fa41ea6a.d: crates/lisp/tests/sequences.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsequences-0b5cb606fa41ea6a.rmeta: crates/lisp/tests/sequences.rs Cargo.toml
+
+crates/lisp/tests/sequences.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sequences-2ff7eaaa3133ac98.d: crates/lisp/tests/sequences.rs
+
+/root/repo/target/debug/deps/sequences-2ff7eaaa3133ac98: crates/lisp/tests/sequences.rs
+
+crates/lisp/tests/sequences.rs:

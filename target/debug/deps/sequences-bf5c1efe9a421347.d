@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sequences-bf5c1efe9a421347.d: crates/lisp/tests/sequences.rs
+
+/root/repo/target/debug/deps/sequences-bf5c1efe9a421347: crates/lisp/tests/sequences.rs
+
+crates/lisp/tests/sequences.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/session-6c5606121e74d40b.d: crates/tagstudy/tests/session.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsession-6c5606121e74d40b.rmeta: crates/tagstudy/tests/session.rs Cargo.toml
+
+crates/tagstudy/tests/session.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

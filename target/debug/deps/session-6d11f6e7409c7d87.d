@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/session-6d11f6e7409c7d87.d: crates/tagstudy/tests/session.rs
+
+/root/repo/target/debug/deps/session-6d11f6e7409c7d87: crates/tagstudy/tests/session.rs
+
+crates/tagstudy/tests/session.rs:

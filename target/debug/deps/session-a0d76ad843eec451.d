@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/session-a0d76ad843eec451.d: crates/tagstudy/tests/session.rs
+
+/root/repo/target/debug/deps/session-a0d76ad843eec451: crates/tagstudy/tests/session.rs
+
+crates/tagstudy/tests/session.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/shape-3e7753ce7c149cde.d: crates/tagstudy/tests/shape.rs
+
+/root/repo/target/debug/deps/shape-3e7753ce7c149cde: crates/tagstudy/tests/shape.rs
+
+crates/tagstudy/tests/shape.rs:

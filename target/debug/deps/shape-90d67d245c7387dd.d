@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/shape-90d67d245c7387dd.d: crates/tagstudy/tests/shape.rs Cargo.toml
+
+/root/repo/target/debug/deps/libshape-90d67d245c7387dd.rmeta: crates/tagstudy/tests/shape.rs Cargo.toml
+
+crates/tagstudy/tests/shape.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

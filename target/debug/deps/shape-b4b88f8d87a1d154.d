@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/shape-b4b88f8d87a1d154.d: crates/tagstudy/tests/shape.rs
+
+/root/repo/target/debug/deps/shape-b4b88f8d87a1d154: crates/tagstudy/tests/shape.rs
+
+crates/tagstudy/tests/shape.rs:

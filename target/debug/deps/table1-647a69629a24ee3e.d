@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-647a69629a24ee3e.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-647a69629a24ee3e: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

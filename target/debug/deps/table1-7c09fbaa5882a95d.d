@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-7c09fbaa5882a95d.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-7c09fbaa5882a95d: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-67c89fa691073f06.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-67c89fa691073f06: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

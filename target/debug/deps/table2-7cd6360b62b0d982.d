@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-7cd6360b62b0d982.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-7cd6360b62b0d982: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-a558bb1ff00448b6.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-a558bb1ff00448b6: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

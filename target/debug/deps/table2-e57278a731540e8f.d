@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table2-e57278a731540e8f.d: crates/bench/src/bin/table2.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable2-e57278a731540e8f.rmeta: crates/bench/src/bin/table2.rs Cargo.toml
+
+crates/bench/src/bin/table2.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

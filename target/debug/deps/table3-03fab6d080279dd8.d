@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3-03fab6d080279dd8.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/debug/deps/table3-03fab6d080279dd8: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3-511ab9186f307839.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/debug/deps/table3-511ab9186f307839: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

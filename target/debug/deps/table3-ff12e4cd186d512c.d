@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3-ff12e4cd186d512c.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/debug/deps/table3-ff12e4cd186d512c: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table_experiments-ddafac714e7f23be.d: crates/bench/benches/table_experiments.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable_experiments-ddafac714e7f23be.rmeta: crates/bench/benches/table_experiments.rs Cargo.toml
+
+crates/bench/benches/table_experiments.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table_experiments-e5f182fc8aae0c09.d: crates/bench/benches/table_experiments.rs
+
+/root/repo/target/debug/deps/table_experiments-e5f182fc8aae0c09: crates/bench/benches/table_experiments.rs
+
+crates/bench/benches/table_experiments.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tags_repro-03a15f486be7ecfe.d: src/lib.rs
+
+/root/repo/target/debug/deps/tags_repro-03a15f486be7ecfe: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tags_repro-39a194187c4d0585.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtags_repro-39a194187c4d0585.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tags_repro-3a9d4c4c490ef7b7.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtags_repro-3a9d4c4c490ef7b7.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

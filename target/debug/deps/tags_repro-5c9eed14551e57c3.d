@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/tags_repro-5c9eed14551e57c3.d: src/lib.rs
+
+/root/repo/target/debug/deps/libtags_repro-5c9eed14551e57c3.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libtags_repro-5c9eed14551e57c3.rmeta: src/lib.rs
+
+src/lib.rs:

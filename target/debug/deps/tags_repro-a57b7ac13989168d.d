@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tags_repro-a57b7ac13989168d.d: src/lib.rs
+
+/root/repo/target/debug/deps/tags_repro-a57b7ac13989168d: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/tags_repro-d8a336c2f3e6080c.d: src/lib.rs
+
+/root/repo/target/debug/deps/libtags_repro-d8a336c2f3e6080c.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libtags_repro-d8a336c2f3e6080c.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/tagstudy-11ac1241dc6f9633.d: crates/tagstudy/src/lib.rs crates/tagstudy/src/config.rs crates/tagstudy/src/measure.rs crates/tagstudy/src/paper.rs crates/tagstudy/src/report.rs crates/tagstudy/src/session.rs crates/tagstudy/src/tables.rs
+
+/root/repo/target/debug/deps/libtagstudy-11ac1241dc6f9633.rlib: crates/tagstudy/src/lib.rs crates/tagstudy/src/config.rs crates/tagstudy/src/measure.rs crates/tagstudy/src/paper.rs crates/tagstudy/src/report.rs crates/tagstudy/src/session.rs crates/tagstudy/src/tables.rs
+
+/root/repo/target/debug/deps/libtagstudy-11ac1241dc6f9633.rmeta: crates/tagstudy/src/lib.rs crates/tagstudy/src/config.rs crates/tagstudy/src/measure.rs crates/tagstudy/src/paper.rs crates/tagstudy/src/report.rs crates/tagstudy/src/session.rs crates/tagstudy/src/tables.rs
+
+crates/tagstudy/src/lib.rs:
+crates/tagstudy/src/config.rs:
+crates/tagstudy/src/measure.rs:
+crates/tagstudy/src/paper.rs:
+crates/tagstudy/src/report.rs:
+crates/tagstudy/src/session.rs:
+crates/tagstudy/src/tables.rs:

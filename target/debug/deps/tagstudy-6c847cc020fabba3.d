@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/tagstudy-6c847cc020fabba3.d: crates/tagstudy/src/lib.rs crates/tagstudy/src/config.rs crates/tagstudy/src/measure.rs crates/tagstudy/src/paper.rs crates/tagstudy/src/report.rs crates/tagstudy/src/session.rs crates/tagstudy/src/tables.rs
+
+/root/repo/target/debug/deps/libtagstudy-6c847cc020fabba3.rlib: crates/tagstudy/src/lib.rs crates/tagstudy/src/config.rs crates/tagstudy/src/measure.rs crates/tagstudy/src/paper.rs crates/tagstudy/src/report.rs crates/tagstudy/src/session.rs crates/tagstudy/src/tables.rs
+
+/root/repo/target/debug/deps/libtagstudy-6c847cc020fabba3.rmeta: crates/tagstudy/src/lib.rs crates/tagstudy/src/config.rs crates/tagstudy/src/measure.rs crates/tagstudy/src/paper.rs crates/tagstudy/src/report.rs crates/tagstudy/src/session.rs crates/tagstudy/src/tables.rs
+
+crates/tagstudy/src/lib.rs:
+crates/tagstudy/src/config.rs:
+crates/tagstudy/src/measure.rs:
+crates/tagstudy/src/paper.rs:
+crates/tagstudy/src/report.rs:
+crates/tagstudy/src/session.rs:
+crates/tagstudy/src/tables.rs:

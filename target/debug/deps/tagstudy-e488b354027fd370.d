@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/tagstudy-e488b354027fd370.d: crates/tagstudy/src/lib.rs crates/tagstudy/src/config.rs crates/tagstudy/src/measure.rs crates/tagstudy/src/paper.rs crates/tagstudy/src/report.rs crates/tagstudy/src/session.rs crates/tagstudy/src/tables.rs
+
+/root/repo/target/debug/deps/tagstudy-e488b354027fd370: crates/tagstudy/src/lib.rs crates/tagstudy/src/config.rs crates/tagstudy/src/measure.rs crates/tagstudy/src/paper.rs crates/tagstudy/src/report.rs crates/tagstudy/src/session.rs crates/tagstudy/src/tables.rs
+
+crates/tagstudy/src/lib.rs:
+crates/tagstudy/src/config.rs:
+crates/tagstudy/src/measure.rs:
+crates/tagstudy/src/paper.rs:
+crates/tagstudy/src/report.rs:
+crates/tagstudy/src/session.rs:
+crates/tagstudy/src/tables.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/tagword-2700a525493ca85d.d: crates/tagword/src/lib.rs crates/tagword/src/cost.rs crates/tagword/src/scheme.rs crates/tagword/src/tag.rs crates/tagword/src/nanbox.rs crates/tagword/src/ptr.rs
+
+/root/repo/target/debug/deps/tagword-2700a525493ca85d: crates/tagword/src/lib.rs crates/tagword/src/cost.rs crates/tagword/src/scheme.rs crates/tagword/src/tag.rs crates/tagword/src/nanbox.rs crates/tagword/src/ptr.rs
+
+crates/tagword/src/lib.rs:
+crates/tagword/src/cost.rs:
+crates/tagword/src/scheme.rs:
+crates/tagword/src/tag.rs:
+crates/tagword/src/nanbox.rs:
+crates/tagword/src/ptr.rs:

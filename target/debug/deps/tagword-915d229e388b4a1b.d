@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/tagword-915d229e388b4a1b.d: crates/tagword/src/lib.rs crates/tagword/src/cost.rs crates/tagword/src/scheme.rs crates/tagword/src/tag.rs crates/tagword/src/nanbox.rs crates/tagword/src/ptr.rs
+
+/root/repo/target/debug/deps/tagword-915d229e388b4a1b: crates/tagword/src/lib.rs crates/tagword/src/cost.rs crates/tagword/src/scheme.rs crates/tagword/src/tag.rs crates/tagword/src/nanbox.rs crates/tagword/src/ptr.rs
+
+crates/tagword/src/lib.rs:
+crates/tagword/src/cost.rs:
+crates/tagword/src/scheme.rs:
+crates/tagword/src/tag.rs:
+crates/tagword/src/nanbox.rs:
+crates/tagword/src/ptr.rs:

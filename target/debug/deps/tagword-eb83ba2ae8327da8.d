@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/tagword-eb83ba2ae8327da8.d: crates/tagword/src/lib.rs crates/tagword/src/cost.rs crates/tagword/src/scheme.rs crates/tagword/src/tag.rs crates/tagword/src/nanbox.rs crates/tagword/src/ptr.rs
+
+/root/repo/target/debug/deps/libtagword-eb83ba2ae8327da8.rlib: crates/tagword/src/lib.rs crates/tagword/src/cost.rs crates/tagword/src/scheme.rs crates/tagword/src/tag.rs crates/tagword/src/nanbox.rs crates/tagword/src/ptr.rs
+
+/root/repo/target/debug/deps/libtagword-eb83ba2ae8327da8.rmeta: crates/tagword/src/lib.rs crates/tagword/src/cost.rs crates/tagword/src/scheme.rs crates/tagword/src/tag.rs crates/tagword/src/nanbox.rs crates/tagword/src/ptr.rs
+
+crates/tagword/src/lib.rs:
+crates/tagword/src/cost.rs:
+crates/tagword/src/scheme.rs:
+crates/tagword/src/tag.rs:
+crates/tagword/src/nanbox.rs:
+crates/tagword/src/ptr.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/toolchain-9f54e1aa8da7ba84.d: crates/bench/benches/toolchain.rs
+
+/root/repo/target/debug/deps/toolchain-9f54e1aa8da7ba84: crates/bench/benches/toolchain.rs
+
+crates/bench/benches/toolchain.rs:

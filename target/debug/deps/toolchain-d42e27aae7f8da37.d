@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/toolchain-d42e27aae7f8da37.d: crates/bench/benches/toolchain.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtoolchain-d42e27aae7f8da37.rmeta: crates/bench/benches/toolchain.rs Cargo.toml
+
+crates/bench/benches/toolchain.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

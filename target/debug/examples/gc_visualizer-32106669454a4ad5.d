@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/gc_visualizer-32106669454a4ad5.d: examples/gc_visualizer.rs
+
+/root/repo/target/debug/examples/gc_visualizer-32106669454a4ad5: examples/gc_visualizer.rs
+
+examples/gc_visualizer.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/gc_visualizer-78e23ec65322bff2.d: examples/gc_visualizer.rs Cargo.toml
+
+/root/repo/target/debug/examples/libgc_visualizer-78e23ec65322bff2.rmeta: examples/gc_visualizer.rs Cargo.toml
+
+examples/gc_visualizer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

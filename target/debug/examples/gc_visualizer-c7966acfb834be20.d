@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/gc_visualizer-c7966acfb834be20.d: examples/gc_visualizer.rs
+
+/root/repo/target/debug/examples/gc_visualizer-c7966acfb834be20: examples/gc_visualizer.rs
+
+examples/gc_visualizer.rs:

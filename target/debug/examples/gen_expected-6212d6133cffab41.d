@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/gen_expected-6212d6133cffab41.d: examples/gen_expected.rs
+
+/root/repo/target/debug/examples/gen_expected-6212d6133cffab41: examples/gen_expected.rs
+
+examples/gen_expected.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/gen_expected-93b80d69037ba614.d: examples/gen_expected.rs
+
+/root/repo/target/debug/examples/gen_expected-93b80d69037ba614: examples/gen_expected.rs
+
+examples/gen_expected.rs:

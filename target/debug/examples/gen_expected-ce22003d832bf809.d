@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/gen_expected-ce22003d832bf809.d: examples/gen_expected.rs Cargo.toml
+
+/root/repo/target/debug/examples/libgen_expected-ce22003d832bf809.rmeta: examples/gen_expected.rs Cargo.toml
+
+examples/gen_expected.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

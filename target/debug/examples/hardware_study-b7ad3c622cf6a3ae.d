@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/hardware_study-b7ad3c622cf6a3ae.d: examples/hardware_study.rs
+
+/root/repo/target/debug/examples/hardware_study-b7ad3c622cf6a3ae: examples/hardware_study.rs
+
+examples/hardware_study.rs:

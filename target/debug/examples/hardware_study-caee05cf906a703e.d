@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/hardware_study-caee05cf906a703e.d: examples/hardware_study.rs Cargo.toml
+
+/root/repo/target/debug/examples/libhardware_study-caee05cf906a703e.rmeta: examples/hardware_study.rs Cargo.toml
+
+examples/hardware_study.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

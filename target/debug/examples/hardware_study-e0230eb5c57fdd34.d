@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/hardware_study-e0230eb5c57fdd34.d: examples/hardware_study.rs
+
+/root/repo/target/debug/examples/hardware_study-e0230eb5c57fdd34: examples/hardware_study.rs
+
+examples/hardware_study.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-0077ae05b745c739.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-0077ae05b745c739: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-037e7137a88ca69e.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-037e7137a88ca69e: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/quickstart-faca59418eb2aba8.d: examples/quickstart.rs Cargo.toml
+
+/root/repo/target/debug/examples/libquickstart-faca59418eb2aba8.rmeta: examples/quickstart.rs Cargo.toml
+
+examples/quickstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

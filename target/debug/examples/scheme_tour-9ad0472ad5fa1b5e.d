@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/scheme_tour-9ad0472ad5fa1b5e.d: examples/scheme_tour.rs
+
+/root/repo/target/debug/examples/scheme_tour-9ad0472ad5fa1b5e: examples/scheme_tour.rs
+
+examples/scheme_tour.rs:

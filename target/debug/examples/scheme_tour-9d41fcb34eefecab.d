@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/scheme_tour-9d41fcb34eefecab.d: examples/scheme_tour.rs
+
+/root/repo/target/debug/examples/scheme_tour-9d41fcb34eefecab: examples/scheme_tour.rs
+
+examples/scheme_tour.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/scheme_tour-ac326433dc0496ff.d: examples/scheme_tour.rs Cargo.toml
+
+/root/repo/target/debug/examples/libscheme_tour-ac326433dc0496ff.rmeta: examples/scheme_tour.rs Cargo.toml
+
+examples/scheme_tour.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

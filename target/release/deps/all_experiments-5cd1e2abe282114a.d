@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/all_experiments-5cd1e2abe282114a.d: crates/bench/src/bin/all_experiments.rs
+
+/root/repo/target/release/deps/all_experiments-5cd1e2abe282114a: crates/bench/src/bin/all_experiments.rs
+
+crates/bench/src/bin/all_experiments.rs:

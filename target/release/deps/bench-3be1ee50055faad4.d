@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/bench-3be1ee50055faad4.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libbench-3be1ee50055faad4.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libbench-3be1ee50055faad4.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

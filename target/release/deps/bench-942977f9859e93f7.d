@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bench-942977f9859e93f7.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/bench-942977f9859e93f7: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

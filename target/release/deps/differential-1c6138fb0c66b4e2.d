@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/differential-1c6138fb0c66b4e2.d: crates/lisp/tests/differential.rs
+
+/root/repo/target/release/deps/differential-1c6138fb0c66b4e2: crates/lisp/tests/differential.rs
+
+crates/lisp/tests/differential.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/end_to_end-10fb1e47c55bfb26.d: tests/end_to_end.rs
+
+/root/repo/target/release/deps/end_to_end-10fb1e47c55bfb26: tests/end_to_end.rs
+
+tests/end_to_end.rs:

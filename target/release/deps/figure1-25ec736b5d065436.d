@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figure1-25ec736b5d065436.d: crates/bench/src/bin/figure1.rs
+
+/root/repo/target/release/deps/figure1-25ec736b5d065436: crates/bench/src/bin/figure1.rs
+
+crates/bench/src/bin/figure1.rs:

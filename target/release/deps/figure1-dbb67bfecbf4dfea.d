@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figure1-dbb67bfecbf4dfea.d: crates/bench/src/bin/figure1.rs
+
+/root/repo/target/release/deps/figure1-dbb67bfecbf4dfea: crates/bench/src/bin/figure1.rs
+
+crates/bench/src/bin/figure1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figure2-5d472a517213a5e5.d: crates/bench/src/bin/figure2.rs
+
+/root/repo/target/release/deps/figure2-5d472a517213a5e5: crates/bench/src/bin/figure2.rs
+
+crates/bench/src/bin/figure2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figure2-690ff20f5d0e38b9.d: crates/bench/src/bin/figure2.rs
+
+/root/repo/target/release/deps/figure2-690ff20f5d0e38b9: crates/bench/src/bin/figure2.rs
+
+crates/bench/src/bin/figure2.rs:

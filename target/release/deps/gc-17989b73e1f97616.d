@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/gc-17989b73e1f97616.d: crates/lisp/tests/gc.rs
+
+/root/repo/target/release/deps/gc-17989b73e1f97616: crates/lisp/tests/gc.rs
+
+crates/lisp/tests/gc.rs:

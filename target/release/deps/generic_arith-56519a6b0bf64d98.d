@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/generic_arith-56519a6b0bf64d98.d: crates/bench/src/bin/generic_arith.rs
+
+/root/repo/target/release/deps/generic_arith-56519a6b0bf64d98: crates/bench/src/bin/generic_arith.rs
+
+crates/bench/src/bin/generic_arith.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/generic_arith-a2ea31627e4559c8.d: crates/bench/src/bin/generic_arith.rs
+
+/root/repo/target/release/deps/generic_arith-a2ea31627e4559c8: crates/bench/src/bin/generic_arith.rs
+
+crates/bench/src/bin/generic_arith.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/hardware_ablation-2244b1c56d5f9939.d: crates/bench/benches/hardware_ablation.rs
+
+/root/repo/target/release/deps/hardware_ablation-2244b1c56d5f9939: crates/bench/benches/hardware_ablation.rs
+
+crates/bench/benches/hardware_ablation.rs:

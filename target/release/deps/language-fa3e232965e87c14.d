@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/language-fa3e232965e87c14.d: crates/lisp/tests/language.rs
+
+/root/repo/target/release/deps/language-fa3e232965e87c14: crates/lisp/tests/language.rs
+
+crates/lisp/tests/language.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/lisp-248cfc436ee516b1.d: crates/lisp/src/lib.rs crates/lisp/src/ast.rs crates/lisp/src/codegen.rs crates/lisp/src/compile.rs crates/lisp/src/error.rs crates/lisp/src/front.rs crates/lisp/src/layout.rs crates/lisp/src/prelude.rs crates/lisp/src/runtime.rs crates/lisp/src/sexp.rs crates/lisp/src/tagops.rs
+
+/root/repo/target/release/deps/lisp-248cfc436ee516b1: crates/lisp/src/lib.rs crates/lisp/src/ast.rs crates/lisp/src/codegen.rs crates/lisp/src/compile.rs crates/lisp/src/error.rs crates/lisp/src/front.rs crates/lisp/src/layout.rs crates/lisp/src/prelude.rs crates/lisp/src/runtime.rs crates/lisp/src/sexp.rs crates/lisp/src/tagops.rs
+
+crates/lisp/src/lib.rs:
+crates/lisp/src/ast.rs:
+crates/lisp/src/codegen.rs:
+crates/lisp/src/compile.rs:
+crates/lisp/src/error.rs:
+crates/lisp/src/front.rs:
+crates/lisp/src/layout.rs:
+crates/lisp/src/prelude.rs:
+crates/lisp/src/runtime.rs:
+crates/lisp/src/sexp.rs:
+crates/lisp/src/tagops.rs:

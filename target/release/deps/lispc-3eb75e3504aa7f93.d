@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/lispc-3eb75e3504aa7f93.d: crates/lisp/src/bin/lispc.rs
+
+/root/repo/target/release/deps/lispc-3eb75e3504aa7f93: crates/lisp/src/bin/lispc.rs
+
+crates/lisp/src/bin/lispc.rs:

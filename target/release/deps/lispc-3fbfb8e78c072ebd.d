@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/lispc-3fbfb8e78c072ebd.d: crates/lisp/src/bin/lispc.rs
+
+/root/repo/target/release/deps/lispc-3fbfb8e78c072ebd: crates/lisp/src/bin/lispc.rs
+
+crates/lisp/src/bin/lispc.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/native_tagging-d0f74bdd6401ec76.d: crates/bench/benches/native_tagging.rs
+
+/root/repo/target/release/deps/native_tagging-d0f74bdd6401ec76: crates/bench/benches/native_tagging.rs
+
+crates/bench/benches/native_tagging.rs:

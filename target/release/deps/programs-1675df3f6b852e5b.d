@@ -1,0 +1,23 @@
+/root/repo/target/release/deps/programs-1675df3f6b852e5b.d: crates/programs/src/lib.rs crates/programs/src/../lisp/inter.lisp crates/programs/src/../lisp/deduce.lisp crates/programs/src/../lisp/rat.lisp crates/programs/src/../lisp/comp.lisp crates/programs/src/../lisp/opt.lisp crates/programs/src/../lisp/frl.lisp crates/programs/src/../lisp/boyer.lisp crates/programs/src/../lisp/brow.lisp crates/programs/src/../lisp/trav.lisp crates/programs/src/../expected/deduce.txt crates/programs/src/../expected/rat.txt crates/programs/src/../expected/comp.txt crates/programs/src/../expected/opt.txt crates/programs/src/../expected/frl.txt crates/programs/src/../expected/brow.txt crates/programs/src/../expected/trav.txt
+
+/root/repo/target/release/deps/libprograms-1675df3f6b852e5b.rlib: crates/programs/src/lib.rs crates/programs/src/../lisp/inter.lisp crates/programs/src/../lisp/deduce.lisp crates/programs/src/../lisp/rat.lisp crates/programs/src/../lisp/comp.lisp crates/programs/src/../lisp/opt.lisp crates/programs/src/../lisp/frl.lisp crates/programs/src/../lisp/boyer.lisp crates/programs/src/../lisp/brow.lisp crates/programs/src/../lisp/trav.lisp crates/programs/src/../expected/deduce.txt crates/programs/src/../expected/rat.txt crates/programs/src/../expected/comp.txt crates/programs/src/../expected/opt.txt crates/programs/src/../expected/frl.txt crates/programs/src/../expected/brow.txt crates/programs/src/../expected/trav.txt
+
+/root/repo/target/release/deps/libprograms-1675df3f6b852e5b.rmeta: crates/programs/src/lib.rs crates/programs/src/../lisp/inter.lisp crates/programs/src/../lisp/deduce.lisp crates/programs/src/../lisp/rat.lisp crates/programs/src/../lisp/comp.lisp crates/programs/src/../lisp/opt.lisp crates/programs/src/../lisp/frl.lisp crates/programs/src/../lisp/boyer.lisp crates/programs/src/../lisp/brow.lisp crates/programs/src/../lisp/trav.lisp crates/programs/src/../expected/deduce.txt crates/programs/src/../expected/rat.txt crates/programs/src/../expected/comp.txt crates/programs/src/../expected/opt.txt crates/programs/src/../expected/frl.txt crates/programs/src/../expected/brow.txt crates/programs/src/../expected/trav.txt
+
+crates/programs/src/lib.rs:
+crates/programs/src/../lisp/inter.lisp:
+crates/programs/src/../lisp/deduce.lisp:
+crates/programs/src/../lisp/rat.lisp:
+crates/programs/src/../lisp/comp.lisp:
+crates/programs/src/../lisp/opt.lisp:
+crates/programs/src/../lisp/frl.lisp:
+crates/programs/src/../lisp/boyer.lisp:
+crates/programs/src/../lisp/brow.lisp:
+crates/programs/src/../lisp/trav.lisp:
+crates/programs/src/../expected/deduce.txt:
+crates/programs/src/../expected/rat.txt:
+crates/programs/src/../expected/comp.txt:
+crates/programs/src/../expected/opt.txt:
+crates/programs/src/../expected/frl.txt:
+crates/programs/src/../expected/brow.txt:
+crates/programs/src/../expected/trav.txt:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/properties-d9ac36d70cff4eb1.d: crates/tagword/tests/properties.rs
+
+/root/repo/target/release/deps/properties-d9ac36d70cff4eb1: crates/tagword/tests/properties.rs
+
+crates/tagword/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptest-2c19a0cc31914433.d: crates/proptest/src/lib.rs
+
+/root/repo/target/release/deps/proptest-2c19a0cc31914433: crates/proptest/src/lib.rs
+
+crates/proptest/src/lib.rs:

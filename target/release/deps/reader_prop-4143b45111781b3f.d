@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/reader_prop-4143b45111781b3f.d: crates/lisp/tests/reader_prop.rs
+
+/root/repo/target/release/deps/reader_prop-4143b45111781b3f: crates/lisp/tests/reader_prop.rs
+
+crates/lisp/tests/reader_prop.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/run_all-397a42c839f0987e.d: crates/programs/tests/run_all.rs
+
+/root/repo/target/release/deps/run_all-397a42c839f0987e: crates/programs/tests/run_all.rs
+
+crates/programs/tests/run_all.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sched_prop-9bccef713267d179.d: crates/mipsx/tests/sched_prop.rs
+
+/root/repo/target/release/deps/sched_prop-9bccef713267d179: crates/mipsx/tests/sched_prop.rs
+
+crates/mipsx/tests/sched_prop.rs:

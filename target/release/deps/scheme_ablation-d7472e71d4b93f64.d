@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/scheme_ablation-d7472e71d4b93f64.d: crates/bench/benches/scheme_ablation.rs
+
+/root/repo/target/release/deps/scheme_ablation-d7472e71d4b93f64: crates/bench/benches/scheme_ablation.rs
+
+crates/bench/benches/scheme_ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sequences-edbadab1ff077350.d: crates/lisp/tests/sequences.rs
+
+/root/repo/target/release/deps/sequences-edbadab1ff077350: crates/lisp/tests/sequences.rs
+
+crates/lisp/tests/sequences.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/shape-6a2c7f5a852abe85.d: crates/tagstudy/tests/shape.rs
+
+/root/repo/target/release/deps/shape-6a2c7f5a852abe85: crates/tagstudy/tests/shape.rs
+
+crates/tagstudy/tests/shape.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-34a202ed815b9686.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/release/deps/table1-34a202ed815b9686: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

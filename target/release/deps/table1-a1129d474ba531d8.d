@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-a1129d474ba531d8.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/release/deps/table1-a1129d474ba531d8: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2-b1335a230fd32e76.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/release/deps/table2-b1335a230fd32e76: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

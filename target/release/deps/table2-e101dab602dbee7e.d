@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2-e101dab602dbee7e.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/release/deps/table2-e101dab602dbee7e: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

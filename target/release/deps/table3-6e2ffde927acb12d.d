@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table3-6e2ffde927acb12d.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/release/deps/table3-6e2ffde927acb12d: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table3-730a0f1d6052b1c8.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/release/deps/table3-730a0f1d6052b1c8: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table_experiments-fe30d59dfe553da7.d: crates/bench/benches/table_experiments.rs
+
+/root/repo/target/release/deps/table_experiments-fe30d59dfe553da7: crates/bench/benches/table_experiments.rs
+
+crates/bench/benches/table_experiments.rs:

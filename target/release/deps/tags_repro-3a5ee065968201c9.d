@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tags_repro-3a5ee065968201c9.d: src/lib.rs
+
+/root/repo/target/release/deps/tags_repro-3a5ee065968201c9: src/lib.rs
+
+src/lib.rs:

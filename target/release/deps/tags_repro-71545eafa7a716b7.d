@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/tags_repro-71545eafa7a716b7.d: src/lib.rs
+
+/root/repo/target/release/deps/libtags_repro-71545eafa7a716b7.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libtags_repro-71545eafa7a716b7.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/tagstudy-1e2b8358d2f4e18e.d: crates/tagstudy/src/lib.rs crates/tagstudy/src/config.rs crates/tagstudy/src/measure.rs crates/tagstudy/src/paper.rs crates/tagstudy/src/report.rs crates/tagstudy/src/tables.rs
+
+/root/repo/target/release/deps/tagstudy-1e2b8358d2f4e18e: crates/tagstudy/src/lib.rs crates/tagstudy/src/config.rs crates/tagstudy/src/measure.rs crates/tagstudy/src/paper.rs crates/tagstudy/src/report.rs crates/tagstudy/src/tables.rs
+
+crates/tagstudy/src/lib.rs:
+crates/tagstudy/src/config.rs:
+crates/tagstudy/src/measure.rs:
+crates/tagstudy/src/paper.rs:
+crates/tagstudy/src/report.rs:
+crates/tagstudy/src/tables.rs:

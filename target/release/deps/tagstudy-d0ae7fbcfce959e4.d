@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/tagstudy-d0ae7fbcfce959e4.d: crates/tagstudy/src/lib.rs crates/tagstudy/src/config.rs crates/tagstudy/src/measure.rs crates/tagstudy/src/paper.rs crates/tagstudy/src/report.rs crates/tagstudy/src/session.rs crates/tagstudy/src/tables.rs
+
+/root/repo/target/release/deps/libtagstudy-d0ae7fbcfce959e4.rlib: crates/tagstudy/src/lib.rs crates/tagstudy/src/config.rs crates/tagstudy/src/measure.rs crates/tagstudy/src/paper.rs crates/tagstudy/src/report.rs crates/tagstudy/src/session.rs crates/tagstudy/src/tables.rs
+
+/root/repo/target/release/deps/libtagstudy-d0ae7fbcfce959e4.rmeta: crates/tagstudy/src/lib.rs crates/tagstudy/src/config.rs crates/tagstudy/src/measure.rs crates/tagstudy/src/paper.rs crates/tagstudy/src/report.rs crates/tagstudy/src/session.rs crates/tagstudy/src/tables.rs
+
+crates/tagstudy/src/lib.rs:
+crates/tagstudy/src/config.rs:
+crates/tagstudy/src/measure.rs:
+crates/tagstudy/src/paper.rs:
+crates/tagstudy/src/report.rs:
+crates/tagstudy/src/session.rs:
+crates/tagstudy/src/tables.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/tagword-1c7398b84b988848.d: crates/tagword/src/lib.rs crates/tagword/src/cost.rs crates/tagword/src/scheme.rs crates/tagword/src/tag.rs crates/tagword/src/nanbox.rs crates/tagword/src/ptr.rs
+
+/root/repo/target/release/deps/tagword-1c7398b84b988848: crates/tagword/src/lib.rs crates/tagword/src/cost.rs crates/tagword/src/scheme.rs crates/tagword/src/tag.rs crates/tagword/src/nanbox.rs crates/tagword/src/ptr.rs
+
+crates/tagword/src/lib.rs:
+crates/tagword/src/cost.rs:
+crates/tagword/src/scheme.rs:
+crates/tagword/src/tag.rs:
+crates/tagword/src/nanbox.rs:
+crates/tagword/src/ptr.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/tagword-a6c503a974a9a729.d: crates/tagword/src/lib.rs crates/tagword/src/cost.rs crates/tagword/src/scheme.rs crates/tagword/src/tag.rs crates/tagword/src/nanbox.rs crates/tagword/src/ptr.rs
+
+/root/repo/target/release/deps/libtagword-a6c503a974a9a729.rlib: crates/tagword/src/lib.rs crates/tagword/src/cost.rs crates/tagword/src/scheme.rs crates/tagword/src/tag.rs crates/tagword/src/nanbox.rs crates/tagword/src/ptr.rs
+
+/root/repo/target/release/deps/libtagword-a6c503a974a9a729.rmeta: crates/tagword/src/lib.rs crates/tagword/src/cost.rs crates/tagword/src/scheme.rs crates/tagword/src/tag.rs crates/tagword/src/nanbox.rs crates/tagword/src/ptr.rs
+
+crates/tagword/src/lib.rs:
+crates/tagword/src/cost.rs:
+crates/tagword/src/scheme.rs:
+crates/tagword/src/tag.rs:
+crates/tagword/src/nanbox.rs:
+crates/tagword/src/ptr.rs:

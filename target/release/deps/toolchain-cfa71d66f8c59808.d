@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/toolchain-cfa71d66f8c59808.d: crates/bench/benches/toolchain.rs
+
+/root/repo/target/release/deps/toolchain-cfa71d66f8c59808: crates/bench/benches/toolchain.rs
+
+crates/bench/benches/toolchain.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/gc_visualizer-e855baaf6a334227.d: examples/gc_visualizer.rs
+
+/root/repo/target/release/examples/gc_visualizer-e855baaf6a334227: examples/gc_visualizer.rs
+
+examples/gc_visualizer.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/gen_expected-afa5d0cf8127161c.d: examples/gen_expected.rs
+
+/root/repo/target/release/examples/gen_expected-afa5d0cf8127161c: examples/gen_expected.rs
+
+examples/gen_expected.rs:

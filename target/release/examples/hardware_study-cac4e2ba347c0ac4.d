@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/hardware_study-cac4e2ba347c0ac4.d: examples/hardware_study.rs
+
+/root/repo/target/release/examples/hardware_study-cac4e2ba347c0ac4: examples/hardware_study.rs
+
+examples/hardware_study.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-aef9c473887a3914.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-aef9c473887a3914: examples/quickstart.rs
+
+examples/quickstart.rs:

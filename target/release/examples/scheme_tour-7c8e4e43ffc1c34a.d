@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/scheme_tour-7c8e4e43ffc1c34a.d: examples/scheme_tour.rs
+
+/root/repo/target/release/examples/scheme_tour-7c8e4e43ffc1c34a: examples/scheme_tour.rs
+
+examples/scheme_tour.rs:
