@@ -1,5 +1,9 @@
 //! Run every experiment and print the full report (EXPERIMENTS.md source).
 //!
+//! The report body comes from [`tagstudy::report::full_report`], which the
+//! golden-snapshot test (`tests/golden_tables.rs` at the workspace root) pins
+//! byte for byte — this binary and the test cannot drift apart.
+//!
 //! All tables share one [`tagstudy::Session`], so overlapping configurations
 //! (the HighTag5 baselines, Table 2's hardware levels) are compiled and
 //! simulated exactly once; the session summary on stderr shows how much the
@@ -9,92 +13,9 @@ fn main() {
     use tagstudy::{report, tables};
     let mut session = bench::session();
     let names = tables::default_programs();
-
-    println!("== Table 3 ==");
     print!(
         "{}",
-        report::render_table3(&bench::unwrap_study(tables::table3_for(
-            &mut session,
-            &names
-        )))
+        bench::unwrap_study(report::full_report(&mut session, &names))
     );
-    println!();
-
-    println!("== Table 1 ==");
-    print!(
-        "{}",
-        report::render_table1(&bench::unwrap_study(tables::table1_for(
-            &mut session,
-            &names
-        )))
-    );
-    println!();
-
-    println!("== Figure 1 ==");
-    print!(
-        "{}",
-        report::render_figure1(&bench::unwrap_study(tables::figure1_for(
-            &mut session,
-            &names
-        )))
-    );
-    print!(
-        "{}",
-        report::render_preshift(&bench::unwrap_study(tables::preshift_study_for(
-            &mut session,
-            &names
-        )))
-    );
-    println!();
-
-    println!("== Figure 2 ==");
-    print!(
-        "{}",
-        report::render_figure2(&bench::unwrap_study(tables::figure2_for(
-            &mut session,
-            &names
-        )))
-    );
-    println!();
-
-    println!("== Table 2 ==");
-    print!(
-        "{}",
-        report::render_table2(&bench::unwrap_study(tables::table2_for(
-            &mut session,
-            &names
-        )))
-    );
-    println!();
-
-    println!("== Integer-test methods (§4.1) ==");
-    print!(
-        "{}",
-        report::render_int_test(&bench::unwrap_study(tables::int_test_study_for(
-            &mut session,
-            &names
-        )))
-    );
-    println!();
-
-    println!("== Generic arithmetic (§4.2 / §6.2.2) ==");
-    print!(
-        "{}",
-        report::render_generic(&bench::unwrap_study(tables::generic_arith_study_for(
-            &mut session,
-            &names
-        )))
-    );
-    println!();
-
-    println!("== Scheme comparison (extension) ==");
-    print!(
-        "{}",
-        report::render_schemes(&bench::unwrap_study(tables::scheme_comparison_for(
-            &mut session,
-            &names
-        )))
-    );
-
     bench::report_session(&session);
 }

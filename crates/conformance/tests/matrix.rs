@@ -1,0 +1,138 @@
+//! The full conformance matrix: every benchmark workload under every
+//! `TagScheme × CheckingMode`, on both executors, in lockstep.
+//!
+//! One `#[test]` per scheme so a failure names the scheme and progress is
+//! visible; each test covers all ten programs under both checking modes.
+//! Run with `cargo test -p conformance --release` — the matrix simulates a
+//! few billion instructions in total.
+
+use lisp::CheckingMode;
+use tagstudy::{Config, Session};
+use tagword::TagScheme;
+
+/// Check every benchmark under both checking modes for one scheme, plus the
+/// harness invariants the summary exposes.
+fn check_scheme(scheme: TagScheme) {
+    let session = Session::serial();
+    for b in programs::all() {
+        for checking in [CheckingMode::None, CheckingMode::Full] {
+            let config = Config::new(scheme, checking);
+            let compiled = session
+                .compile_program(b.name, config)
+                .unwrap_or_else(|e| panic!("{}/{config}: compile failed: {e}", b.name));
+            let c = conformance::check_compiled(&compiled, programs::FUEL, None)
+                .unwrap_or_else(|e| panic!("{}/{config}: {e}", b.name));
+            assert!(c.retired > 0, "{}/{config}: empty trace", b.name);
+            assert!(
+                c.cycles >= c.retired + c.squashed,
+                "{}/{config}: cycles ({}) < retired ({}) + squashed ({})",
+                b.name,
+                c.cycles,
+                c.retired,
+                c.squashed
+            );
+            assert_eq!(
+                c.traps, 0,
+                "{}/{config}: plain hardware cannot trap",
+                b.name
+            );
+        }
+    }
+}
+
+#[test]
+fn matrix_high5_conforms() {
+    check_scheme(TagScheme::HighTag5);
+}
+
+#[test]
+fn matrix_high6_conforms() {
+    check_scheme(TagScheme::HighTag6);
+}
+
+#[test]
+fn matrix_low2_conforms() {
+    check_scheme(TagScheme::LowTag2);
+}
+
+#[test]
+fn matrix_low3_conforms() {
+    check_scheme(TagScheme::LowTag3);
+}
+
+/// The tag-hardware configurations exercise the instructions the plain matrix
+/// cannot: tag branches, checked loads/stores, and generic arithmetic.
+#[test]
+fn tag_hardware_conforms() {
+    use mipsx::HwConfig;
+    let session = Session::serial();
+    let hws = [
+        ("maximal", HwConfig::maximal(5)),
+        ("spur", HwConfig::spur(5)),
+        ("tagbr", HwConfig::with_tag_branch()),
+        ("generic", HwConfig::with_generic_arith()),
+    ];
+    for name in ["inter", "trav"] {
+        for (hw_name, hw) in hws {
+            for checking in [CheckingMode::None, CheckingMode::Full] {
+                let config = Config::baseline(checking).with_hw(hw);
+                let compiled = session
+                    .compile_program(name, config)
+                    .unwrap_or_else(|e| panic!("{name}/{hw_name}/{checking:?}: compile: {e}"));
+                conformance::check_compiled(&compiled, programs::FUEL, None)
+                    .unwrap_or_else(|e| panic!("{name}/{hw_name}/{checking:?}: {e}"));
+            }
+        }
+    }
+}
+
+/// An injected semantics bug in the reference executor must surface as a
+/// divergence on a real workload — proof the matrix would notice a real bug.
+#[test]
+fn injected_bug_is_caught_on_a_workload() {
+    let session = Session::serial();
+    let config = Config::baseline(CheckingMode::None);
+    let compiled = session.compile_program("trav", config).expect("compiles");
+    let err = conformance::check_compiled(
+        &compiled,
+        programs::FUEL,
+        Some(mipsx::Fault::AddOffByOne { nth: 500 }),
+    )
+    .expect_err("a corrupted add must diverge");
+    let report = err.to_string();
+    assert!(report.contains("divergence"), "unexpected report: {report}");
+}
+
+/// `Session::run_observed` exposes the trace layer through the experiment
+/// engine: the observer sees exactly as many retirements as the measurement
+/// commits, and the measurement still validates output.
+#[test]
+fn session_exposes_observed_runs() {
+    use mipsx::trace::{Observer, Retirement};
+    use mipsx::Annot;
+    use std::ops::ControlFlow;
+
+    #[derive(Default)]
+    struct Count {
+        retired: u64,
+        squashed: u64,
+    }
+    impl Observer for Count {
+        fn retire(&mut self, _: &Retirement, _: Annot, _: u64) -> ControlFlow<()> {
+            self.retired += 1;
+            ControlFlow::Continue(())
+        }
+        fn squash(&mut self, _: usize, _: Annot, _: u64) {
+            self.squashed += 1;
+        }
+    }
+
+    let session = Session::serial();
+    let config = Config::baseline(CheckingMode::None);
+    let mut count = Count::default();
+    let m = session
+        .run_observed("trav", config, programs::FUEL, &mut count)
+        .expect("observed run succeeds");
+    assert_eq!(count.retired, m.stats.committed, "one event per commit");
+    assert_eq!(count.squashed, m.stats.squashed);
+}

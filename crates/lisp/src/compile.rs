@@ -187,6 +187,21 @@ pub fn run_with_hw(
     Cpu::new(&c.program, hw, c.mem_bytes).run(max_cycles)
 }
 
+/// [`run`], reporting every retired instruction to `obs` (see
+/// [`mipsx::trace`]). Used by the conformance harness to compare the pipelined
+/// simulator against the reference executor.
+///
+/// # Errors
+///
+/// See [`run`]; additionally [`SimError::Stopped`] if the observer breaks.
+pub fn run_observed<O: mipsx::trace::Observer>(
+    c: &CompiledProgram,
+    max_cycles: u64,
+    obs: &mut O,
+) -> Result<Outcome, SimError> {
+    Cpu::new(&c.program, c.hw, c.mem_bytes).run_observed(max_cycles, obs)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -46,7 +46,9 @@ mod runtime;
 mod sexp;
 mod tagops;
 
-pub use compile::{compile, run, run_with_hw, CompileStats, CompiledProgram, Options};
+pub use compile::{
+    compile, run, run_observed, run_with_hw, CompileStats, CompiledProgram, Options,
+};
 pub use error::CompileError;
 pub use front::CheckingMode;
 pub use mipsx::{Outcome, SimError};

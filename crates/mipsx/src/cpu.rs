@@ -9,6 +9,7 @@ use crate::mem::Mem;
 use crate::program::Program;
 use crate::reg::Reg;
 use crate::stats::{InsnClass, Stats};
+use crate::trace::{MemOp, NoTrace, Observer, Retirement};
 
 /// Simulation failures. These indicate bugs in generated code (or an exhausted
 /// cycle budget), never ordinary program behaviour.
@@ -50,6 +51,12 @@ pub enum SimError {
         /// The register read too early.
         reg: Reg,
     },
+    /// The [`Observer`] asked the simulation to stop (never produced by
+    /// [`Cpu::run`], whose observer cannot break).
+    Stopped {
+        /// Cycles executed when the observer broke.
+        cycles: u64,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -71,6 +78,9 @@ impl fmt::Display for SimError {
                     f,
                     "instruction at pc {pc} reads {reg} during its load delay"
                 )
+            }
+            SimError::Stopped { cycles } => {
+                write!(f, "stopped by the observer after {cycles} cycles")
             }
         }
     }
@@ -152,6 +162,11 @@ impl<'p> Cpu<'p> {
         &self.mem
     }
 
+    /// The register file (for post-run comparison against a reference run).
+    pub fn regs(&self) -> &[u32; 32] {
+        &self.regs
+    }
+
     fn fetch(&self, pc: usize) -> Result<(Insn, Annot), SimError> {
         match self.prog.insns.get(pc) {
             Some(i) => Ok((*i, self.prog.annots.get(pc).copied().unwrap_or(Annot::NONE))),
@@ -192,13 +207,46 @@ impl<'p> Cpu<'p> {
         }
     }
 
+    /// Report a trapping checked instruction to the observer and redirect.
+    fn emit_trap<O: Observer>(
+        &mut self,
+        obs: &mut O,
+        pc: usize,
+        insn: Insn,
+        annot: Annot,
+        target: usize,
+    ) -> Result<Flow, SimError> {
+        if O::ENABLED {
+            let ev = Retirement {
+                pc,
+                insn,
+                write: None,
+                mem: None,
+                trap: Some(target),
+            };
+            if obs.retire(&ev, annot, self.stats.cycles).is_break() {
+                return Err(SimError::Stopped {
+                    cycles: self.stats.cycles,
+                });
+            }
+        }
+        Ok(Flow::Trap { target })
+    }
+
     /// Execute one non-control instruction, recording its cycles.
-    fn exec_simple(&mut self, pc: usize, insn: Insn, annot: Annot) -> Result<Flow, SimError> {
+    fn exec_simple<O: Observer>(
+        &mut self,
+        pc: usize,
+        insn: Insn,
+        annot: Annot,
+        obs: &mut O,
+    ) -> Result<Flow, SimError> {
         debug_assert!(!insn.is_control());
         self.check_load_delay(pc, insn)?;
         let class = InsnClass::of(insn);
         let mut next_pending = None;
         let mut cycles = 1u64;
+        let mut memop: Option<MemOp> = None;
         let flow = match insn {
             Insn::Add(d, a, b) => {
                 let v = self.reg(a).wrapping_add(self.reg(b));
@@ -311,6 +359,13 @@ impl<'p> Cpu<'p> {
             Insn::Ld(d, base, disp) => {
                 let addr = self.ea(base, disp);
                 let v = self.load(addr, pc)?;
+                if O::ENABLED {
+                    memop = Some(MemOp {
+                        addr,
+                        value: v,
+                        store: false,
+                    });
+                }
                 self.set_reg(d, v);
                 next_pending = Some(d);
                 Flow::Next
@@ -319,6 +374,13 @@ impl<'p> Cpu<'p> {
                 let addr = self.ea(base, disp);
                 let v = self.reg(src);
                 self.store(addr, v, pc)?;
+                if O::ENABLED {
+                    memop = Some(MemOp {
+                        addr,
+                        value: v,
+                        store: true,
+                    });
+                }
                 Flow::Next
             }
             Insn::LdChk {
@@ -340,12 +402,17 @@ impl<'p> Cpu<'p> {
                     self.stats
                         .record_trap(annot, u64::from(self.hw.trap_penalty));
                     self.pending_load = None;
-                    return Ok(Flow::Trap {
-                        target: on_fail as usize,
-                    });
+                    return self.emit_trap(obs, pc, insn, annot, on_fail as usize);
                 }
                 let addr = self.ea_untagged(word, field, disp);
                 let v = self.load(addr, pc)?;
+                if O::ENABLED {
+                    memop = Some(MemOp {
+                        addr,
+                        value: v,
+                        store: false,
+                    });
+                }
                 self.set_reg(rd, v);
                 next_pending = Some(rd);
                 Flow::Next
@@ -369,13 +436,18 @@ impl<'p> Cpu<'p> {
                     self.stats
                         .record_trap(annot, u64::from(self.hw.trap_penalty));
                     self.pending_load = None;
-                    return Ok(Flow::Trap {
-                        target: on_fail as usize,
-                    });
+                    return self.emit_trap(obs, pc, insn, annot, on_fail as usize);
                 }
                 let addr = self.ea_untagged(word, field, disp);
                 let v = self.reg(src);
                 self.store(addr, v, pc)?;
+                if O::ENABLED {
+                    memop = Some(MemOp {
+                        addr,
+                        value: v,
+                        store: true,
+                    });
+                }
                 Flow::Next
             }
             Insn::AddG {
@@ -421,9 +493,7 @@ impl<'p> Cpu<'p> {
                     self.stats
                         .record_trap(trap_annot, u64::from(self.hw.trap_penalty));
                     self.pending_load = None;
-                    return Ok(Flow::Trap {
-                        target: on_fail as usize,
-                    });
+                    return self.emit_trap(obs, pc, insn, trap_annot, on_fail as usize);
                 }
                 self.set_reg(rd, result.expect("checked above") as u32);
                 Flow::Next
@@ -451,16 +521,30 @@ impl<'p> Cpu<'p> {
         };
         self.stats.record(class, annot, cycles);
         self.pending_load = next_pending;
+        if O::ENABLED {
+            let ev = Retirement {
+                pc,
+                insn,
+                write: insn.def().map(|r| (r, self.reg(r))),
+                mem: memop,
+                trap: None,
+            };
+            if obs.retire(&ev, annot, self.stats.cycles).is_break() {
+                return Err(SimError::Stopped {
+                    cycles: self.stats.cycles,
+                });
+            }
+        }
         Ok(flow)
     }
 
     /// Execute one delay-slot instruction (must not be a control transfer).
-    fn exec_slot(&mut self, pc: usize) -> Result<Flow, SimError> {
+    fn exec_slot<O: Observer>(&mut self, pc: usize, obs: &mut O) -> Result<Flow, SimError> {
         let (insn, annot) = self.fetch(pc)?;
         if insn.is_control() {
             return Err(SimError::ControlInSlot { pc });
         }
-        self.exec_simple(pc, insn, annot)
+        self.exec_simple(pc, insn, annot, obs)
     }
 
     /// Run until `halt`, a simulation error, or the cycle budget is exhausted.
@@ -469,6 +553,23 @@ impl<'p> Cpu<'p> {
     ///
     /// Any [`SimError`]; see its variants. A normal `halt` is not an error.
     pub fn run(&mut self, max_cycles: u64) -> Result<Outcome, SimError> {
+        self.run_observed(max_cycles, &mut NoTrace)
+    }
+
+    /// [`run`](Cpu::run), reporting every retired instruction to `obs`.
+    ///
+    /// With [`NoTrace`] this monomorphizes to exactly the untraced loop; see
+    /// the [`trace`](crate::trace) module docs.
+    ///
+    /// # Errors
+    ///
+    /// Any [`SimError`], including [`SimError::Stopped`] if the observer
+    /// breaks out of the run.
+    pub fn run_observed<O: Observer>(
+        &mut self,
+        max_cycles: u64,
+        obs: &mut O,
+    ) -> Result<Outcome, SimError> {
         loop {
             if self.stats.cycles >= max_cycles {
                 return Err(SimError::OutOfFuel {
@@ -478,7 +579,7 @@ impl<'p> Cpu<'p> {
             let pc = self.pc;
             let (insn, annot) = self.fetch(pc)?;
             if !insn.is_control() {
-                match self.exec_simple(pc, insn, annot)? {
+                match self.exec_simple(pc, insn, annot, obs)? {
                     Flow::Next => self.pc = pc + 1,
                     Flow::Halt(code) => {
                         return Ok(Outcome {
@@ -548,11 +649,26 @@ impl<'p> Cpu<'p> {
                 self.set_reg(link, (pc + 1 + slots) as u32);
             }
 
+            if O::ENABLED {
+                let ev = Retirement {
+                    pc,
+                    insn,
+                    write: insn.def().map(|r| (r, self.reg(r))),
+                    mem: None,
+                    trap: None,
+                };
+                if obs.retire(&ev, annot, self.stats.cycles).is_break() {
+                    return Err(SimError::Stopped {
+                        cycles: self.stats.cycles,
+                    });
+                }
+            }
+
             let mut halted = None;
             for s in 1..=slots {
                 let spc = pc + s;
                 if taken || !squash {
-                    match self.exec_slot(spc)? {
+                    match self.exec_slot(spc, obs)? {
                         Flow::Next => {}
                         Flow::Halt(code) => {
                             halted = Some(code);
@@ -568,6 +684,9 @@ impl<'p> Cpu<'p> {
                     // Squashed: cycle wasted, attributed to the branch.
                     self.stats.record_squashed(annot);
                     self.pending_load = None;
+                    if O::ENABLED {
+                        obs.squash(spc, annot, self.stats.cycles);
+                    }
                 }
             }
             if let Some(code) = halted {

@@ -345,6 +345,16 @@ impl Insn {
         }
     }
 
+    /// Whether this instruction can trap to an `on_fail` target (checked memory
+    /// access or generic arithmetic). Trapping instructions redirect control and
+    /// so are as illegal in delay slots as explicit control transfers.
+    pub fn can_trap(self) -> bool {
+        matches!(
+            self,
+            Insn::LdChk { .. } | Insn::StChk { .. } | Insn::AddG { .. } | Insn::SubG { .. }
+        )
+    }
+
     /// The register this instruction writes, if any.
     pub fn def(self) -> Option<Reg> {
         let r = match self {

@@ -66,10 +66,12 @@ mod hw;
 mod insn;
 mod mem;
 mod program;
+mod refcpu;
 mod reg;
 mod stats;
 
 pub mod sched;
+pub mod trace;
 pub mod verify;
 
 pub use annot::{Annot, CheckCat, Provenance, TagOpKind, ALL_CHECK_CATS, ALL_TAG_OPS};
@@ -79,5 +81,6 @@ pub use hw::{HwConfig, ParallelCheck};
 pub use insn::{Cond, FpOp, Insn, IntTest, TagField, WriteKind};
 pub use mem::Mem;
 pub use program::Program;
+pub use refcpu::{Fault, RefCpu};
 pub use reg::Reg;
 pub use stats::{InsnClass, Stats, ALL_CLASSES};

@@ -134,7 +134,10 @@ pub struct Stats {
 impl Stats {
     /// Record `cycles` for an instruction of `class` with annotation `annot`
     /// that committed.
-    pub(crate) fn record(&mut self, class: InsnClass, annot: Annot, cycles: u64) {
+    ///
+    /// Public so a conformance harness can rebuild a `Stats` from a retirement
+    /// trace and compare it against the simulator's own accounting.
+    pub fn record(&mut self, class: InsnClass, annot: Annot, cycles: u64) {
         self.cycles += cycles;
         self.committed += 1;
         *self.class_counts.entry(class).or_insert(0) += 1;
@@ -149,7 +152,7 @@ impl Stats {
     /// Record a squashed delay-slot instruction: one wasted cycle attributed to the
     /// *branch's* annotation (the paper charges unused slots to the checking
     /// operation that owns the branch).
-    pub(crate) fn record_squashed(&mut self, branch_annot: Annot) {
+    pub fn record_squashed(&mut self, branch_annot: Annot) {
         self.cycles += 1;
         self.squashed += 1;
         if let Some(op) = branch_annot.tag_op {
@@ -161,7 +164,7 @@ impl Stats {
     }
 
     /// Record a trap: the penalty cycles, attributed to `annot`.
-    pub(crate) fn record_trap(&mut self, annot: Annot, penalty: u64) {
+    pub fn record_trap(&mut self, annot: Annot, penalty: u64) {
         self.cycles += penalty;
         self.trap_cycles += penalty;
         self.traps += 1;

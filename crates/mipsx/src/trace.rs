@@ -1,0 +1,128 @@
+//! The retired-instruction trace layer: an opt-in observer hook on [`Cpu`].
+//!
+//! [`Cpu::run_observed`] reports every *architecturally executed* instruction
+//! to an [`Observer`] as a [`Retirement`] record — program counter, decoded
+//! instruction, register writeback, memory operation, tag-trap redirect — plus
+//! the cumulative cycle count and the instruction's [`Annot`]ation at the
+//! moment it retired. Squashed delay slots (which burn a cycle but execute
+//! nothing) are reported separately through [`Observer::squash`].
+//!
+//! The hook is **zero-cost when disabled**: observers are a generic parameter,
+//! every emission site is guarded by the associated constant
+//! [`Observer::ENABLED`], and [`Cpu::run`] instantiates the loop with
+//! [`NoTrace`] (`ENABLED = false`), so the plain path monomorphizes to exactly
+//! the untraced fetch-execute loop.
+//!
+//! Two executors produce this record stream — the pipelined [`Cpu`] and the
+//! deliberately simple [`crate::RefCpu`] — which is what makes differential
+//! (trace-oracle) testing possible; see the `conformance` crate.
+//!
+//! [`Cpu`]: crate::Cpu
+//! [`Cpu::run`]: crate::Cpu::run
+//! [`Cpu::run_observed`]: crate::Cpu::run_observed
+
+use std::ops::ControlFlow;
+
+use crate::annot::Annot;
+use crate::insn::Insn;
+use crate::reg::Reg;
+
+/// A memory access performed by a retired instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemOp {
+    /// Effective byte address (after tag dropping / masking).
+    pub addr: u32,
+    /// The word read or written.
+    pub value: u32,
+    /// `true` for a store, `false` for a load.
+    pub store: bool,
+}
+
+/// One retired instruction, as both executors report it.
+///
+/// `Retirement` deliberately contains only *architectural* facts — no cycles,
+/// no pipeline state — so records from the pipelined [`crate::Cpu`] and the
+/// sequential [`crate::RefCpu`] can be compared with `==`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Retirement {
+    /// Instruction index.
+    pub pc: usize,
+    /// The decoded instruction.
+    pub insn: Insn,
+    /// Register writeback, if the instruction wrote one (writes to `r0` are
+    /// discarded and never reported).
+    pub write: Option<(Reg, u32)>,
+    /// Memory operation, if the instruction performed one.
+    pub mem: Option<MemOp>,
+    /// Tag-trap redirect target: `Some(on_fail)` when a checked memory access
+    /// or generic-arithmetic instruction failed its tag test and transferred
+    /// control instead of completing. Trapping retirements have no writeback
+    /// and no memory operation.
+    pub trap: Option<usize>,
+}
+
+/// An instruction-retirement observer. See the [module docs](self).
+///
+/// `retire` returns [`ControlFlow`]: `Break(())` stops the simulation, which
+/// then reports [`crate::SimError::Stopped`]. This lets a differential harness
+/// abort at the first divergence instead of running the program to completion.
+pub trait Observer {
+    /// Compile-time gate: when `false`, every emission site (including the
+    /// bookkeeping that assembles [`Retirement`] records) compiles away.
+    const ENABLED: bool = true;
+
+    /// Called after each architecturally executed instruction, including
+    /// trapping checked instructions and `halt`.
+    ///
+    /// `annot` is the annotation the statistics were charged to (for trapping
+    /// generic arithmetic this is the dispatch annotation, not the fast
+    /// path's) and `cycle` the cumulative cycle count after retirement.
+    fn retire(&mut self, ev: &Retirement, annot: Annot, cycle: u64) -> ControlFlow<()>;
+
+    /// Called when a delay slot is squashed: the slot's cycle is wasted and
+    /// charged to the branch's annotation; nothing executes or retires.
+    fn squash(&mut self, pc: usize, branch_annot: Annot, cycle: u64) {
+        let _ = (pc, branch_annot, cycle);
+    }
+}
+
+/// The disabled observer: [`crate::Cpu::run`] uses it, and with
+/// `ENABLED = false` the traced loop monomorphizes back to the plain one.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoTrace;
+
+impl Observer for NoTrace {
+    const ENABLED: bool = false;
+
+    #[inline(always)]
+    fn retire(&mut self, _ev: &Retirement, _annot: Annot, _cycle: u64) -> ControlFlow<()> {
+        ControlFlow::Continue(())
+    }
+}
+
+/// An observer that records the whole run in memory.
+///
+/// Only suitable for small programs — the ten benchmark workloads retire
+/// hundreds of millions of instructions, for which a streaming observer (as in
+/// the `conformance` crate's lockstep harness) is the right tool.
+#[derive(Debug, Clone, Default)]
+pub struct TraceBuffer {
+    /// Every retirement, in order.
+    pub records: Vec<Retirement>,
+    /// `(annot, cycle)` sidecar, parallel to `records`.
+    pub annotations: Vec<(Annot, u64)>,
+    /// Squashed delay slots as `(pc, branch annot, cycle)`.
+    pub squashes: Vec<(usize, Annot, u64)>,
+}
+
+impl Observer for TraceBuffer {
+    fn retire(&mut self, ev: &Retirement, annot: Annot, cycle: u64) -> ControlFlow<()> {
+        self.records.push(*ev);
+        self.annotations.push((annot, cycle));
+        ControlFlow::Continue(())
+    }
+
+    fn squash(&mut self, pc: usize, branch_annot: Annot, cycle: u64) {
+        self.squashes.push((pc, branch_annot, cycle));
+    }
+}

@@ -88,13 +88,6 @@ impl fmt::Display for VerifyError {
 
 impl std::error::Error for VerifyError {}
 
-fn can_trap(insn: Insn) -> bool {
-    matches!(
-        insn,
-        Insn::LdChk { .. } | Insn::StChk { .. } | Insn::AddG { .. } | Insn::SubG { .. }
-    )
-}
-
 fn targets(insn: Insn) -> Option<u32> {
     match insn {
         Insn::Br { target, .. } | Insn::TagBr { target, .. } | Insn::J(target) => Some(target),
@@ -140,7 +133,7 @@ pub fn verify(prog: &Program) -> Result<(), VerifyError> {
             if insn.is_control() {
                 return Err(VerifyError::ControlInSlot { pc });
             }
-            if can_trap(insn) {
+            if insn.can_trap() {
                 return Err(VerifyError::TrapInSlot { pc });
             }
         }

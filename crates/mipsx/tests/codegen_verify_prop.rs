@@ -1,0 +1,80 @@
+//! Property test: `lisp` codegen never emits a program that fails the static
+//! verifier.
+//!
+//! The delay-slot scheduler runs inside `lisp::compile`, so every compiled
+//! benchmark is a scheduler output; `verify::verify` statically rejects the
+//! two bugs the pipeline would otherwise hit dynamically (a load-delay hazard
+//! or a control target landing in a delay slot). One exhaustive sweep pins
+//! the whole measured design space; a randomized sweep explores the option
+//! combinations no table uses (hardware variants crossed with ablations).
+
+use proptest::prelude::*;
+
+use lisp::{CheckingMode, IntTestMethod, Options};
+use mipsx::{verify, HwConfig};
+use tagword::ALL_SCHEMES;
+
+/// The hardware configurations codegen can target.
+fn hw_choices() -> Vec<HwConfig> {
+    vec![
+        HwConfig::plain(),
+        HwConfig::with_address_drop(5),
+        HwConfig::with_address_drop(6),
+        HwConfig::with_tag_branch(),
+        HwConfig::with_generic_arith(),
+        HwConfig::maximal(5),
+        HwConfig::spur(5),
+    ]
+}
+
+fn compile_and_verify(name: &str, opts: &Options) {
+    let b = programs::by_name(name).expect("benchmark exists");
+    let compiled = lisp::compile(b.source, opts)
+        .unwrap_or_else(|e| panic!("{name} ({opts:?}): compile failed: {e}"));
+    if let Err(e) = verify::verify(&compiled.program) {
+        panic!("{name} ({opts:?}): emitted program fails verification: {e}");
+    }
+}
+
+/// Exhaustive: every benchmark under every scheme and checking mode with the
+/// default (plain-hardware) options verifies cleanly.
+#[test]
+fn every_benchmark_verifies_under_every_scheme() {
+    for b in programs::all() {
+        for scheme in ALL_SCHEMES {
+            for checking in [CheckingMode::None, CheckingMode::Full] {
+                compile_and_verify(b.name, &Options::new(scheme, checking));
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Randomized: arbitrary combinations of scheme, checking mode, hardware
+    /// support, and the §3.1/§4.1 ablation knobs still verify.
+    #[test]
+    fn random_option_combinations_verify(
+        prog_idx in 0usize..10,
+        scheme_idx in 0usize..ALL_SCHEMES.len(),
+        full_checking in any::<bool>(),
+        hw_idx in 0usize..7,
+        preshift in any::<bool>(),
+        tag_compare in any::<bool>(),
+    ) {
+        let b = &programs::all()[prog_idx % programs::all().len()];
+        let mut opts = Options::new(
+            ALL_SCHEMES[scheme_idx],
+            if full_checking { CheckingMode::Full } else { CheckingMode::None },
+        );
+        opts.hw = hw_choices()[hw_idx];
+        opts.preshifted_pair_tag = preshift;
+        opts.int_test_method = if tag_compare {
+            IntTestMethod::TagCompare
+        } else {
+            IntTestMethod::SignExtend
+        };
+        compile_and_verify(b.name, &opts);
+    }
+}

@@ -114,6 +114,11 @@ pub fn by_name(name: &str) -> Option<&'static Benchmark> {
     BENCHMARKS.iter().find(|b| b.name == name)
 }
 
+/// The benchmark names, in the paper's table order.
+pub fn names() -> Vec<&'static str> {
+    BENCHMARKS.iter().map(|b| b.name).collect()
+}
+
 static BENCHMARKS: [Benchmark; 10] = [
     bench!(
         "inter",

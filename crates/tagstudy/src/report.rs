@@ -286,6 +286,80 @@ pub fn render_schemes(s: &SchemeComparison) -> String {
     out
 }
 
+/// Render every experiment of the study as one report — the exact stdout of
+/// the `all_experiments` binary, which prints this string verbatim. The
+/// golden-snapshot test pins it against a checked-in expected file, so any
+/// formatting or measurement drift shows up as a diff.
+///
+/// # Errors
+///
+/// Any [`StudyError`](crate::StudyError) a table regeneration raises.
+pub fn full_report(
+    session: &mut crate::Session,
+    names: &[&str],
+) -> Result<String, crate::StudyError> {
+    use crate::tables;
+    let mut out = String::new();
+    let section = |out: &mut String, title: &str, body: String| {
+        let _ = writeln!(out, "== {title} ==");
+        let _ = write!(out, "{body}");
+    };
+
+    section(
+        &mut out,
+        "Table 3",
+        render_table3(&tables::table3_for(session, names)?),
+    );
+    let _ = writeln!(out);
+    section(
+        &mut out,
+        "Table 1",
+        render_table1(&tables::table1_for(session, names)?),
+    );
+    let _ = writeln!(out);
+    section(
+        &mut out,
+        "Figure 1",
+        render_figure1(&tables::figure1_for(session, names)?),
+    );
+    let _ = write!(
+        out,
+        "{}",
+        render_preshift(&tables::preshift_study_for(session, names)?)
+    );
+    let _ = writeln!(out);
+    section(
+        &mut out,
+        "Figure 2",
+        render_figure2(&tables::figure2_for(session, names)?),
+    );
+    let _ = writeln!(out);
+    section(
+        &mut out,
+        "Table 2",
+        render_table2(&tables::table2_for(session, names)?),
+    );
+    let _ = writeln!(out);
+    section(
+        &mut out,
+        "Integer-test methods (§4.1)",
+        render_int_test(&tables::int_test_study_for(session, names)?),
+    );
+    let _ = writeln!(out);
+    section(
+        &mut out,
+        "Generic arithmetic (§4.2 / §6.2.2)",
+        render_generic(&tables::generic_arith_study_for(session, names)?),
+    );
+    let _ = writeln!(out);
+    section(
+        &mut out,
+        "Scheme comparison (extension)",
+        render_schemes(&tables::scheme_comparison_for(session, names)?),
+    );
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -267,6 +267,68 @@ impl Session {
         crate::measure::run_program(program, &config)
     }
 
+    /// Compile a named benchmark under `config` without running it. The
+    /// conformance harness uses this to get at the executable image both
+    /// executors will interpret.
+    ///
+    /// # Errors
+    ///
+    /// [`StudyError::UnknownProgram`] or [`StudyError::Compile`].
+    pub fn compile_program(
+        &self,
+        program: &str,
+        config: Config,
+    ) -> Result<lisp::CompiledProgram, StudyError> {
+        let benchmark = programs::by_name(program)
+            .ok_or_else(|| StudyError::UnknownProgram(program.to_string()))?;
+        benchmark
+            .compile(&config.to_options())
+            .map_err(|e| StudyError::Compile {
+                program: program.to_string(),
+                message: e.to_string(),
+            })
+    }
+
+    /// Run a named benchmark with the retired-instruction trace enabled (see
+    /// [`mipsx::trace`]), validating its output like any other measurement.
+    ///
+    /// Trace-enabled runs are never cached: the whole point is to re-execute
+    /// under observation, and the observer itself is stateful.
+    ///
+    /// # Errors
+    ///
+    /// Any [`StudyError`]; an observer that breaks out of the run surfaces as
+    /// [`StudyError::Sim`].
+    pub fn run_observed<O: mipsx::trace::Observer>(
+        &self,
+        program: &str,
+        config: Config,
+        fuel: u64,
+        obs: &mut O,
+    ) -> Result<Measurement, StudyError> {
+        let compiled = self.compile_program(program, config)?;
+        let outcome =
+            lisp::run_observed(&compiled, fuel, obs).map_err(|e| StudyError::Sim {
+                program: program.to_string(),
+                message: e.to_string(),
+            })?;
+        let benchmark = programs::by_name(program).expect("compiled above");
+        if outcome.halt_code != lisp::exit_code::OK || outcome.output != benchmark.expected_output
+        {
+            return Err(StudyError::WrongOutput {
+                program: program.to_string(),
+                config: config.to_string(),
+                got: format!("halt={} {:?}", outcome.halt_code, outcome.output),
+            });
+        }
+        Ok(Measurement {
+            program: program.to_string(),
+            config,
+            stats: outcome.stats,
+            compile: compiled.stats,
+        })
+    }
+
     /// Render the observability surface as a short plain-text summary: cache
     /// counters, the compile/simulate wall-time split, and the slowest
     /// measured points.
@@ -345,11 +407,16 @@ impl Session {
         let Some(benchmark) = programs::by_name(name) else {
             return Err(StudyError::UnknownProgram(name.clone()));
         };
-        self.emit(&Progress::Started {
-            program: name.clone(),
-            config: *config,
-        });
-        let result = catch_unwind(AssertUnwindSafe(|| run_benchmark_timed(benchmark, config)))
+        // The Started emit runs inside the panic guard too: a misbehaving
+        // progress callback surfaces as this measurement's error, not as a
+        // harness abort.
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            self.emit(&Progress::Started {
+                program: name.clone(),
+                config: *config,
+            });
+            run_benchmark_timed(benchmark, config)
+        }))
             .unwrap_or_else(|payload| {
                 Err(StudyError::Sim {
                     program: name.clone(),
@@ -453,6 +520,69 @@ mod tests {
         assert_eq!(started.load(Ordering::Relaxed), 1);
         assert_eq!(finished.load(Ordering::Relaxed), 1);
         assert_eq!(hits.load(Ordering::Relaxed), 1);
+    }
+
+    /// A panicking worker (here: a progress callback that panics for one
+    /// program) is contained by the pool and reported alongside ordinary
+    /// failures in the same [`StudyError::Multiple`].
+    #[test]
+    fn worker_panic_is_collected_into_multiple() {
+        let mut s = Session::new().with_progress(|p| {
+            if let Progress::Started { program, .. } = p {
+                assert!(program != "trav", "callback rejects trav");
+            }
+        });
+        let cfg = Config::baseline(CheckingMode::None);
+        let err = s
+            .measure_many(&[("trav", cfg), ("nope", cfg), ("frl", cfg)])
+            .unwrap_err();
+        match err {
+            StudyError::Multiple(errors) => {
+                assert_eq!(errors.len(), 2, "panic + unknown program: {errors:?}");
+                assert!(
+                    errors.iter().any(|e| matches!(
+                        e,
+                        StudyError::Sim { program, message }
+                            if program == "trav" && message.contains("panicked")
+                    )),
+                    "panic not surfaced: {errors:?}"
+                );
+                assert!(
+                    errors
+                        .iter()
+                        .any(|e| matches!(e, StudyError::UnknownProgram(p) if p == "nope")),
+                    "unknown program lost: {errors:?}"
+                );
+            }
+            other => panic!("expected Multiple, got {other}"),
+        }
+        // The healthy sibling still completed and entered the cache.
+        assert_eq!(s.cached_measurements(), 1);
+    }
+
+    /// Hit/miss counters across overlapping batches match the hand-computed
+    /// plan: first occurrence of each (program, config) is a miss, everything
+    /// after — including in-batch duplicates — is a hit.
+    #[test]
+    fn warm_cache_counters_match_hand_computed_plan() {
+        let mut s = Session::serial();
+        let none = Config::baseline(CheckingMode::None);
+        let full = Config::baseline(CheckingMode::Full);
+
+        // Batch 1: two fresh points.
+        s.measure_many(&[("frl", none), ("trav", none)]).unwrap();
+        assert_eq!((s.stats().misses, s.stats().hits), (2, 0));
+
+        // Batch 2: one warm point, one fresh point requested twice, one warm.
+        s.measure_many(&[("frl", none), ("frl", full), ("trav", none), ("frl", full)])
+            .unwrap();
+        assert_eq!((s.stats().misses, s.stats().hits), (3, 3));
+
+        // A single warm request afterwards.
+        s.measure("frl", full).unwrap();
+        assert_eq!((s.stats().misses, s.stats().hits), (3, 4));
+        assert_eq!(s.stats().requests(), 7);
+        assert_eq!(s.cached_measurements(), 3);
     }
 
     #[test]

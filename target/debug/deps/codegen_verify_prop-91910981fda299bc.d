@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/codegen_verify_prop-91910981fda299bc.d: crates/mipsx/tests/codegen_verify_prop.rs
+
+/root/repo/target/debug/deps/codegen_verify_prop-91910981fda299bc: crates/mipsx/tests/codegen_verify_prop.rs
+
+crates/mipsx/tests/codegen_verify_prop.rs:

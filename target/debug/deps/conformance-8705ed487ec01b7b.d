@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/conformance-8705ed487ec01b7b.d: crates/conformance/src/lib.rs
+
+/root/repo/target/debug/deps/conformance-8705ed487ec01b7b: crates/conformance/src/lib.rs
+
+crates/conformance/src/lib.rs:

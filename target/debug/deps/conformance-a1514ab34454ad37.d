@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/conformance-a1514ab34454ad37.d: crates/conformance/src/lib.rs
+
+/root/repo/target/debug/deps/libconformance-a1514ab34454ad37.rlib: crates/conformance/src/lib.rs
+
+/root/repo/target/debug/deps/libconformance-a1514ab34454ad37.rmeta: crates/conformance/src/lib.rs
+
+crates/conformance/src/lib.rs:

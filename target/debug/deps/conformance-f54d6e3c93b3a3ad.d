@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/conformance-f54d6e3c93b3a3ad.d: crates/conformance/src/lib.rs
+
+/root/repo/target/debug/deps/libconformance-f54d6e3c93b3a3ad.rlib: crates/conformance/src/lib.rs
+
+/root/repo/target/debug/deps/libconformance-f54d6e3c93b3a3ad.rmeta: crates/conformance/src/lib.rs
+
+crates/conformance/src/lib.rs:

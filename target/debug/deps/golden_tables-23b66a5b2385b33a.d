@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/golden_tables-23b66a5b2385b33a.d: tests/golden_tables.rs
+
+/root/repo/target/debug/deps/golden_tables-23b66a5b2385b33a: tests/golden_tables.rs
+
+tests/golden_tables.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/golden_tables-914ed27794c9c02e.d: tests/golden_tables.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgolden_tables-914ed27794c9c02e.rmeta: tests/golden_tables.rs Cargo.toml
+
+tests/golden_tables.rs:
+Cargo.toml:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/matrix-572a038954c7d74a.d: crates/conformance/tests/matrix.rs
+
+/root/repo/target/debug/deps/matrix-572a038954c7d74a: crates/conformance/tests/matrix.rs
+
+crates/conformance/tests/matrix.rs:

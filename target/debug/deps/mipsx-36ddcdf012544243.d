@@ -1,6 +1,6 @@
-/root/repo/target/debug/deps/mipsx-36ddcdf012544243.d: crates/mipsx/src/lib.rs crates/mipsx/src/annot.rs crates/mipsx/src/asm.rs crates/mipsx/src/cpu.rs crates/mipsx/src/hw.rs crates/mipsx/src/insn.rs crates/mipsx/src/mem.rs crates/mipsx/src/program.rs crates/mipsx/src/reg.rs crates/mipsx/src/stats.rs crates/mipsx/src/sched.rs crates/mipsx/src/verify.rs Cargo.toml
+/root/repo/target/debug/deps/mipsx-36ddcdf012544243.d: crates/mipsx/src/lib.rs crates/mipsx/src/annot.rs crates/mipsx/src/asm.rs crates/mipsx/src/cpu.rs crates/mipsx/src/hw.rs crates/mipsx/src/insn.rs crates/mipsx/src/mem.rs crates/mipsx/src/program.rs crates/mipsx/src/refcpu.rs crates/mipsx/src/reg.rs crates/mipsx/src/stats.rs crates/mipsx/src/sched.rs crates/mipsx/src/trace.rs crates/mipsx/src/verify.rs Cargo.toml
 
-/root/repo/target/debug/deps/libmipsx-36ddcdf012544243.rmeta: crates/mipsx/src/lib.rs crates/mipsx/src/annot.rs crates/mipsx/src/asm.rs crates/mipsx/src/cpu.rs crates/mipsx/src/hw.rs crates/mipsx/src/insn.rs crates/mipsx/src/mem.rs crates/mipsx/src/program.rs crates/mipsx/src/reg.rs crates/mipsx/src/stats.rs crates/mipsx/src/sched.rs crates/mipsx/src/verify.rs Cargo.toml
+/root/repo/target/debug/deps/libmipsx-36ddcdf012544243.rmeta: crates/mipsx/src/lib.rs crates/mipsx/src/annot.rs crates/mipsx/src/asm.rs crates/mipsx/src/cpu.rs crates/mipsx/src/hw.rs crates/mipsx/src/insn.rs crates/mipsx/src/mem.rs crates/mipsx/src/program.rs crates/mipsx/src/refcpu.rs crates/mipsx/src/reg.rs crates/mipsx/src/stats.rs crates/mipsx/src/sched.rs crates/mipsx/src/trace.rs crates/mipsx/src/verify.rs Cargo.toml
 
 crates/mipsx/src/lib.rs:
 crates/mipsx/src/annot.rs:
@@ -10,9 +10,11 @@ crates/mipsx/src/hw.rs:
 crates/mipsx/src/insn.rs:
 crates/mipsx/src/mem.rs:
 crates/mipsx/src/program.rs:
+crates/mipsx/src/refcpu.rs:
 crates/mipsx/src/reg.rs:
 crates/mipsx/src/stats.rs:
 crates/mipsx/src/sched.rs:
+crates/mipsx/src/trace.rs:
 crates/mipsx/src/verify.rs:
 Cargo.toml:
 

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/mipsx-38edc21855c372cc.d: crates/mipsx/src/lib.rs crates/mipsx/src/annot.rs crates/mipsx/src/asm.rs crates/mipsx/src/cpu.rs crates/mipsx/src/hw.rs crates/mipsx/src/insn.rs crates/mipsx/src/mem.rs crates/mipsx/src/program.rs crates/mipsx/src/refcpu.rs crates/mipsx/src/reg.rs crates/mipsx/src/stats.rs crates/mipsx/src/sched.rs crates/mipsx/src/trace.rs crates/mipsx/src/verify.rs
+
+/root/repo/target/debug/deps/mipsx-38edc21855c372cc: crates/mipsx/src/lib.rs crates/mipsx/src/annot.rs crates/mipsx/src/asm.rs crates/mipsx/src/cpu.rs crates/mipsx/src/hw.rs crates/mipsx/src/insn.rs crates/mipsx/src/mem.rs crates/mipsx/src/program.rs crates/mipsx/src/refcpu.rs crates/mipsx/src/reg.rs crates/mipsx/src/stats.rs crates/mipsx/src/sched.rs crates/mipsx/src/trace.rs crates/mipsx/src/verify.rs
+
+crates/mipsx/src/lib.rs:
+crates/mipsx/src/annot.rs:
+crates/mipsx/src/asm.rs:
+crates/mipsx/src/cpu.rs:
+crates/mipsx/src/hw.rs:
+crates/mipsx/src/insn.rs:
+crates/mipsx/src/mem.rs:
+crates/mipsx/src/program.rs:
+crates/mipsx/src/refcpu.rs:
+crates/mipsx/src/reg.rs:
+crates/mipsx/src/stats.rs:
+crates/mipsx/src/sched.rs:
+crates/mipsx/src/trace.rs:
+crates/mipsx/src/verify.rs:

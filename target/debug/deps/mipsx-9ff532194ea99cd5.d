@@ -1,8 +1,8 @@
-/root/repo/target/debug/deps/mipsx-9ff532194ea99cd5.d: crates/mipsx/src/lib.rs crates/mipsx/src/annot.rs crates/mipsx/src/asm.rs crates/mipsx/src/cpu.rs crates/mipsx/src/hw.rs crates/mipsx/src/insn.rs crates/mipsx/src/mem.rs crates/mipsx/src/program.rs crates/mipsx/src/reg.rs crates/mipsx/src/stats.rs crates/mipsx/src/sched.rs crates/mipsx/src/verify.rs
+/root/repo/target/debug/deps/mipsx-9ff532194ea99cd5.d: crates/mipsx/src/lib.rs crates/mipsx/src/annot.rs crates/mipsx/src/asm.rs crates/mipsx/src/cpu.rs crates/mipsx/src/hw.rs crates/mipsx/src/insn.rs crates/mipsx/src/mem.rs crates/mipsx/src/program.rs crates/mipsx/src/refcpu.rs crates/mipsx/src/reg.rs crates/mipsx/src/stats.rs crates/mipsx/src/sched.rs crates/mipsx/src/trace.rs crates/mipsx/src/verify.rs
 
-/root/repo/target/debug/deps/libmipsx-9ff532194ea99cd5.rlib: crates/mipsx/src/lib.rs crates/mipsx/src/annot.rs crates/mipsx/src/asm.rs crates/mipsx/src/cpu.rs crates/mipsx/src/hw.rs crates/mipsx/src/insn.rs crates/mipsx/src/mem.rs crates/mipsx/src/program.rs crates/mipsx/src/reg.rs crates/mipsx/src/stats.rs crates/mipsx/src/sched.rs crates/mipsx/src/verify.rs
+/root/repo/target/debug/deps/libmipsx-9ff532194ea99cd5.rlib: crates/mipsx/src/lib.rs crates/mipsx/src/annot.rs crates/mipsx/src/asm.rs crates/mipsx/src/cpu.rs crates/mipsx/src/hw.rs crates/mipsx/src/insn.rs crates/mipsx/src/mem.rs crates/mipsx/src/program.rs crates/mipsx/src/refcpu.rs crates/mipsx/src/reg.rs crates/mipsx/src/stats.rs crates/mipsx/src/sched.rs crates/mipsx/src/trace.rs crates/mipsx/src/verify.rs
 
-/root/repo/target/debug/deps/libmipsx-9ff532194ea99cd5.rmeta: crates/mipsx/src/lib.rs crates/mipsx/src/annot.rs crates/mipsx/src/asm.rs crates/mipsx/src/cpu.rs crates/mipsx/src/hw.rs crates/mipsx/src/insn.rs crates/mipsx/src/mem.rs crates/mipsx/src/program.rs crates/mipsx/src/reg.rs crates/mipsx/src/stats.rs crates/mipsx/src/sched.rs crates/mipsx/src/verify.rs
+/root/repo/target/debug/deps/libmipsx-9ff532194ea99cd5.rmeta: crates/mipsx/src/lib.rs crates/mipsx/src/annot.rs crates/mipsx/src/asm.rs crates/mipsx/src/cpu.rs crates/mipsx/src/hw.rs crates/mipsx/src/insn.rs crates/mipsx/src/mem.rs crates/mipsx/src/program.rs crates/mipsx/src/refcpu.rs crates/mipsx/src/reg.rs crates/mipsx/src/stats.rs crates/mipsx/src/sched.rs crates/mipsx/src/trace.rs crates/mipsx/src/verify.rs
 
 crates/mipsx/src/lib.rs:
 crates/mipsx/src/annot.rs:
@@ -12,7 +12,9 @@ crates/mipsx/src/hw.rs:
 crates/mipsx/src/insn.rs:
 crates/mipsx/src/mem.rs:
 crates/mipsx/src/program.rs:
+crates/mipsx/src/refcpu.rs:
 crates/mipsx/src/reg.rs:
 crates/mipsx/src/stats.rs:
 crates/mipsx/src/sched.rs:
+crates/mipsx/src/trace.rs:
 crates/mipsx/src/verify.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sched_prop-52b5ad28f2ff0e85.d: crates/mipsx/tests/sched_prop.rs
+
+/root/repo/target/debug/deps/sched_prop-52b5ad28f2ff0e85: crates/mipsx/tests/sched_prop.rs
+
+crates/mipsx/tests/sched_prop.rs:

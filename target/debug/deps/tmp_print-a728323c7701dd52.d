@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tmp_print-a728323c7701dd52.d: crates/conformance/tests/tmp_print.rs
+
+/root/repo/target/debug/deps/tmp_print-a728323c7701dd52: crates/conformance/tests/tmp_print.rs
+
+crates/conformance/tests/tmp_print.rs:

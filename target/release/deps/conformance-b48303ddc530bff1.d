@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/conformance-b48303ddc530bff1.d: crates/conformance/src/lib.rs
+
+/root/repo/target/release/deps/libconformance-b48303ddc530bff1.rlib: crates/conformance/src/lib.rs
+
+/root/repo/target/release/deps/libconformance-b48303ddc530bff1.rmeta: crates/conformance/src/lib.rs
+
+crates/conformance/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/divergence_demo-14d5c58a684f2cbc.d: crates/conformance/examples/divergence_demo.rs
+
+/root/repo/target/release/examples/divergence_demo-14d5c58a684f2cbc: crates/conformance/examples/divergence_demo.rs
+
+crates/conformance/examples/divergence_demo.rs:

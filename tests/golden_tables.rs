@@ -1,0 +1,70 @@
+//! Golden-snapshot test: the full experiment report against a checked-in
+//! expected file.
+//!
+//! The report text is [`tagstudy::report::full_report`] — exactly what the
+//! `all_experiments` binary prints to stdout — so this test pins every table
+//! and figure of the study byte for byte. Any change to a measurement, a
+//! render function, or the section layout fails here with the first differing
+//! line.
+//!
+//! To regenerate after an intentional change:
+//!
+//! ```text
+//! UPDATE_EXPECTED=1 cargo test --test golden_tables
+//! ```
+
+use std::fs;
+use std::path::PathBuf;
+
+fn expected_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/expected/all_experiments.txt")
+}
+
+#[test]
+fn all_experiments_report_matches_golden() {
+    let mut session = tagstudy::Session::new();
+    let names = tagstudy::tables::default_programs();
+    let got =
+        tagstudy::report::full_report(&mut session, &names).expect("the report regenerates");
+
+    let path = expected_path();
+    if std::env::var_os("UPDATE_EXPECTED").is_some() {
+        fs::write(&path, &got).expect("write the expected file");
+        eprintln!("updated {}", path.display());
+        return;
+    }
+
+    let want = fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "cannot read {}: {e}\nseed it with: UPDATE_EXPECTED=1 cargo test --test golden_tables",
+            path.display()
+        )
+    });
+    if got == want {
+        return;
+    }
+
+    // Report the first differing line with context, then fail.
+    let (got_lines, want_lines): (Vec<&str>, Vec<&str>) =
+        (got.lines().collect(), want.lines().collect());
+    let n = got_lines.len().max(want_lines.len());
+    for i in 0..n {
+        let g = got_lines.get(i).copied().unwrap_or("<missing line>");
+        let w = want_lines.get(i).copied().unwrap_or("<missing line>");
+        if g != w {
+            panic!(
+                "report drifted from {} at line {}:\n  expected: {w}\n  got:      {g}\n\
+                 if the change is intentional, regenerate with UPDATE_EXPECTED=1",
+                path.display(),
+                i + 1
+            );
+        }
+    }
+    panic!(
+        "report differs from {} only in trailing whitespace/newlines \
+         (expected {} bytes, got {} bytes)",
+        path.display(),
+        want.len(),
+        got.len()
+    );
+}
