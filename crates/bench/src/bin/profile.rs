@@ -1,0 +1,112 @@
+//! Per-function cycle-attribution profiler: "Table 1, but per function".
+//!
+//! Runs one benchmark under one configuration with a [`mipsx::Profiler`]
+//! attached and prints where the cycles — and specifically the tag-handling
+//! cycles — went, function by function. The paper only ever reports these
+//! numbers as whole-program aggregates; this is the drill-down.
+//!
+//! ```text
+//! profile <benchmark> [--scheme high5|high6|low2|low3] [--checking none|full]
+//!                     [--hw plain|tagbr|genarith|maximal|spur]
+//!                     [--folded] [--metrics json|prom]
+//! ```
+//!
+//! Default output is the per-function report (stdout). `--folded` instead
+//! prints folded call stacks (`frame;frame count` per line) ready for
+//! `flamegraph.pl` or any compatible renderer. `--metrics json|prom` prints
+//! the session's metrics registry after the run, in JSON or Prometheus text.
+
+use tagstudy::{CheckingMode, Config};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: profile <benchmark> [--scheme high5|high6|low2|low3] \
+         [--checking none|full] [--hw plain|tagbr|genarith|maximal|spur] \
+         [--folded] [--metrics json|prom]\nbenchmarks: {}",
+        programs::names().join(" ")
+    );
+    std::process::exit(2);
+}
+
+fn next_arg(args: &mut std::vec::IntoIter<String>, flag: &str) -> String {
+    args.next().unwrap_or_else(|| {
+        eprintln!("{flag} needs a value");
+        usage()
+    })
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1).collect::<Vec<_>>().into_iter();
+    let Some(benchmark) = args.next() else { usage() };
+    if benchmark.starts_with('-') {
+        usage();
+    }
+    let mut scheme = tagword::TagScheme::HighTag5;
+    let mut checking = CheckingMode::Full;
+    let mut hw_name = "plain".to_string();
+    let mut folded = false;
+    let mut metrics: Option<String> = None;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--scheme" => {
+                let v = next_arg(&mut args, "--scheme");
+                scheme = match tagword::ALL_SCHEMES.iter().find(|s| s.name() == v) {
+                    Some(s) => *s,
+                    None => {
+                        eprintln!("unknown scheme {v:?}");
+                        usage()
+                    }
+                };
+            }
+            "--checking" => {
+                checking = match next_arg(&mut args, "--checking").as_str() {
+                    "none" => CheckingMode::None,
+                    "full" => CheckingMode::Full,
+                    v => {
+                        eprintln!("unknown checking mode {v:?}");
+                        usage()
+                    }
+                };
+            }
+            "--hw" => hw_name = next_arg(&mut args, "--hw"),
+            "--folded" => folded = true,
+            "--metrics" => metrics = Some(next_arg(&mut args, "--metrics")),
+            _ => {
+                eprintln!("unknown argument {arg:?}");
+                usage()
+            }
+        }
+    }
+    let hw = match hw_name.as_str() {
+        "plain" => mipsx::HwConfig::plain(),
+        "tagbr" => mipsx::HwConfig::with_tag_branch(),
+        "genarith" => mipsx::HwConfig::with_generic_arith(),
+        "maximal" => mipsx::HwConfig::maximal(scheme.tag_bits()),
+        "spur" => mipsx::HwConfig::spur(scheme.tag_bits()),
+        v => {
+            eprintln!("unknown hardware level {v:?}");
+            usage()
+        }
+    };
+    let config = Config::new(scheme, checking).with_hw(hw);
+
+    let session = bench::session();
+    let (measurement, profiler) =
+        bench::unwrap_study(session.profile(&benchmark, config, programs::FUEL));
+
+    if folded {
+        // Folded stacks only: pipeable straight into flamegraph.pl.
+        print!("{}", profiler.folded());
+    } else {
+        print!("{}", bench::profile_report(&measurement, &profiler));
+    }
+    match metrics.as_deref() {
+        None => {}
+        Some("json") => println!("{}", session.metrics_json()),
+        Some("prom") => print!("{}", session.metrics_prometheus()),
+        Some(v) => {
+            eprintln!("unknown metrics format {v:?} (want json or prom)");
+            usage()
+        }
+    }
+}

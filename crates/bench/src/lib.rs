@@ -1,16 +1,21 @@
 //! Shared helpers for the table/figure regeneration binaries and Criterion
 //! benches. The binaries (`table1`, `table2`, `table3`, `figure1`, `figure2`,
-//! `generic_arith`, `all_experiments`) print the paper's tables next to the
-//! measured values; the Criterion benches time the underlying simulations.
+//! `generic_arith`, `all_experiments`, `profile`) print the paper's tables
+//! next to the measured values; the Criterion benches time the underlying
+//! simulations.
 //!
 //! Every binary drives one [`Session`]: [`session`] wires up a live progress
 //! feed on stderr, and [`report_session`] prints the cache/timing summary at
 //! exit. Tables go to stdout, telemetry to stderr, so redirecting stdout
 //! still captures exactly the paper's tables.
+//!
+//! [`profile_report`] renders the per-function cycle-attribution report the
+//! `profile` binary prints — shared with the golden-snapshot test
+//! (`tests/profiler.rs` at the workspace root) so the two cannot drift.
 
 #![deny(missing_docs)]
 
-use tagstudy::{Progress, Session};
+use tagstudy::{Measurement, Progress, Session};
 
 /// Exit with a readable message on measurement failure.
 pub fn unwrap_study<T>(r: Result<T, tagstudy::StudyError>) -> T {
@@ -45,4 +50,34 @@ pub fn session() -> Session {
 /// bench binary.
 pub fn report_session(session: &Session) {
     eprint!("{}", session.summary());
+}
+
+/// Render the per-function cycle-attribution report for one profiled run:
+/// a header identifying the measured point, the whole-program reconciliation
+/// line, and the profiler's hot-spot tables. Deterministic for a given
+/// `(program, config)` — the golden-snapshot test pins this output.
+///
+/// # Panics
+///
+/// If the profiler's books do not reconcile exactly with the measurement's
+/// [`mipsx::Stats`] — that would mean the attribution lost or invented
+/// cycles, which is a bug, not a degraded report.
+pub fn profile_report(measurement: &Measurement, profiler: &mipsx::Profiler) -> String {
+    use std::fmt::Write as _;
+    profiler
+        .reconcile(&measurement.stats)
+        .expect("profiler books reconcile with Stats");
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "profile: {} under {} — {} cycles, {} retired, {} tag cycles (reconciled exactly)",
+        measurement.program,
+        measurement.config,
+        measurement.stats.cycles,
+        measurement.stats.committed,
+        measurement.stats.total_tag_cycles(),
+    );
+    let _ = writeln!(out);
+    out.push_str(&profiler.report());
+    out
 }

@@ -307,12 +307,14 @@ impl Asm {
                 symbols.insert(name, p);
             }
         }
+        let symtab = crate::symtab::SymbolTable::build(&symbols, &insns);
         Ok(Program {
             insns,
             annots,
             entry,
             data: std::mem::take(&mut self.data),
             symbols,
+            symtab,
         })
     }
 }

@@ -70,7 +70,9 @@ mod refcpu;
 mod reg;
 mod stats;
 
+pub mod profile;
 pub mod sched;
+pub mod symtab;
 pub mod trace;
 pub mod verify;
 
@@ -80,7 +82,9 @@ pub use cpu::{Cpu, Outcome, SimError};
 pub use hw::{HwConfig, ParallelCheck};
 pub use insn::{Cond, FpOp, Insn, IntTest, TagField, WriteKind};
 pub use mem::Mem;
+pub use profile::{FuncProfile, PcProfile, Profiler};
 pub use program::Program;
 pub use refcpu::{Fault, RefCpu};
 pub use reg::Reg;
 pub use stats::{InsnClass, Stats, ALL_CLASSES};
+pub use symtab::{CallSite, FuncSym, SymbolTable};

@@ -4,6 +4,7 @@ use std::collections::HashMap;
 
 use crate::annot::Annot;
 use crate::insn::Insn;
+use crate::symtab::SymbolTable;
 
 /// An executable program: resolved instructions, their annotations, an entry point,
 /// and an initial data image.
@@ -19,6 +20,9 @@ pub struct Program {
     pub data: Vec<(u32, u32)>,
     /// Named code positions (for debugging and tests).
     pub symbols: HashMap<String, usize>,
+    /// PC-range symbol table derived from `symbols`: function regions and
+    /// static call sites, for profiling and annotated listings.
+    pub symtab: SymbolTable,
 }
 
 impl Program {
@@ -32,8 +36,20 @@ impl Program {
         self.insns.is_empty()
     }
 
+    /// The symbol name a jump-like instruction targets, when the target is a
+    /// named region entry (used to annotate listings with `-> callee`).
+    fn call_target(&self, insn: &Insn) -> Option<&str> {
+        let target = match insn {
+            Insn::Jal(t, _) | Insn::J(t) => *t as usize,
+            _ => return None,
+        };
+        let i = self.symtab.entry_at(target)?;
+        Some(self.symtab.name(i))
+    }
+
     /// A human-readable listing with per-instruction tag-operation annotations
-    /// (debugging and sequence-inspection aid).
+    /// (debugging and sequence-inspection aid). Jumps to named entries show
+    /// their symbolic target (`-> fn:append`).
     pub fn listing_annotated(&self) -> String {
         use std::fmt::Write as _;
         let mut by_index: HashMap<usize, &str> = HashMap::new();
@@ -54,7 +70,11 @@ impl Program {
                 crate::annot::CheckCat::NotChecking => String::new(),
                 c => format!("/{c:?}"),
             };
-            let _ = writeln!(out, "  {i:5}  {insn:<40} {tag}{cat}");
+            let callee = match self.call_target(insn) {
+                Some(name) => format!(" -> {name}"),
+                None => String::new(),
+            };
+            let _ = writeln!(out, "  {i:5}  {insn:<40} {tag}{cat}{callee}");
         }
         out
     }
@@ -71,7 +91,14 @@ impl Program {
             if let Some(name) = by_index.get(&i) {
                 let _ = writeln!(out, "{name}:");
             }
-            let _ = writeln!(out, "  {i:5}  {insn}");
+            match self.call_target(insn) {
+                Some(callee) => {
+                    let _ = writeln!(out, "  {i:5}  {insn:<40} ; -> {callee}");
+                }
+                None => {
+                    let _ = writeln!(out, "  {i:5}  {insn}");
+                }
+            }
         }
         out
     }
@@ -90,11 +117,37 @@ mod tests {
             entry: 0,
             data: vec![],
             symbols: [("main".to_string(), 0)].into_iter().collect(),
+            symtab: Default::default(),
         };
         let l = p.listing();
         assert!(l.contains("main:"));
         assert!(l.contains("halt"));
         assert_eq!(p.len(), 2);
         assert!(!p.is_empty());
+    }
+
+    #[test]
+    fn listing_shows_call_targets() {
+        let symbols: HashMap<String, usize> =
+            [("main".to_string(), 0), ("fn:f".to_string(), 3)]
+                .into_iter()
+                .collect();
+        let insns = vec![
+            Insn::Jal(3, Reg::Link),
+            Insn::Nop,
+            Insn::Halt(Reg::Zero),
+            Insn::Jr(Reg::Link),
+        ];
+        let symtab = SymbolTable::build(&symbols, &insns);
+        let p = Program {
+            annots: vec![Annot::NONE; insns.len()],
+            insns,
+            entry: 0,
+            data: vec![],
+            symbols,
+            symtab,
+        };
+        assert!(p.listing().contains("; -> fn:f"));
+        assert!(p.listing_annotated().contains("-> fn:f"));
     }
 }

@@ -1,0 +1,240 @@
+//! Symbol tables: attributing program counters to named code regions.
+//!
+//! The code generator names every routine it emits ([`crate::Asm::here`] /
+//! [`crate::Asm::name_label`]): compiled Lisp functions (`fn:append`), the
+//! program entry (`main`), and the runtime routines (`gc_collect`,
+//! `generic_add`, the error stops). [`crate::Asm::finish`] turns those names
+//! into a [`SymbolTable`]: the named positions, sorted, become half-open PC
+//! ranges — each routine extends to the start of the next one — plus the
+//! statically resolvable call sites (`jal` instructions whose target is a
+//! named entry).
+//!
+//! The table is carried on [`crate::Program`] so that listings can show where
+//! calls go and so the [`profiler`](crate::profile) can attribute cycles from
+//! the retirement stream to functions in O(1) per retired instruction.
+
+use std::collections::HashMap;
+
+use crate::insn::Insn;
+
+/// One named code region: a compiled Lisp function or a runtime routine.
+///
+/// The range is half-open (`start..end`); slow-path blocks a function defers
+/// to the space between its epilogue and the next routine still attribute to
+/// the function that owns them, which is exactly what a profiler wants.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FuncSym {
+    /// The symbol name (`main`, `fn:append`, `gc_collect`, …).
+    pub name: String,
+    /// First instruction index of the region.
+    pub start: usize,
+    /// One past the last instruction index of the region.
+    pub end: usize,
+}
+
+/// A statically resolvable call site: a `jal` whose target is a named entry.
+///
+/// Indirect calls (`jalr`, used by `funcall`) are not listed here — their
+/// targets only exist at run time, where the [`profiler`](crate::profile)
+/// resolves them from the retirement stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CallSite {
+    /// Instruction index of the `jal`.
+    pub pc: usize,
+    /// Index (into [`SymbolTable::functions`]) of the calling region.
+    pub caller: usize,
+    /// Index of the called region.
+    pub callee: usize,
+}
+
+/// PC-range → function attribution for one [`crate::Program`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SymbolTable {
+    funcs: Vec<FuncSym>,
+    call_sites: Vec<CallSite>,
+}
+
+impl SymbolTable {
+    /// Build the table from an assembler's resolved name map and the final
+    /// instruction stream. Every named position starts a region; regions run
+    /// to the next named position (or the end of the program). When several
+    /// names share a position the lexicographically first wins (deterministic,
+    /// and in practice names are unique).
+    pub fn build(symbols: &HashMap<String, usize>, insns: &[Insn]) -> SymbolTable {
+        let mut named: Vec<(usize, &str)> = symbols
+            .iter()
+            .filter(|(_, pos)| **pos < insns.len())
+            .map(|(name, pos)| (*pos, name.as_str()))
+            .collect();
+        named.sort_unstable();
+        named.dedup_by_key(|(pos, _)| *pos);
+
+        let mut funcs = Vec::with_capacity(named.len());
+        for (i, (start, name)) in named.iter().enumerate() {
+            let end = named.get(i + 1).map_or(insns.len(), |(next, _)| *next);
+            funcs.push(FuncSym {
+                name: (*name).to_string(),
+                start: *start,
+                end,
+            });
+        }
+
+        let mut table = SymbolTable {
+            funcs,
+            call_sites: Vec::new(),
+        };
+        for (pc, insn) in insns.iter().enumerate() {
+            if let Insn::Jal(target, _) = insn {
+                let Some(callee) = table.entry_at(*target as usize) else {
+                    continue;
+                };
+                let Some(caller) = table.index_of(pc) else {
+                    continue;
+                };
+                table.call_sites.push(CallSite { pc, caller, callee });
+            }
+        }
+        table
+    }
+
+    /// All regions, sorted by start position.
+    pub fn functions(&self) -> &[FuncSym] {
+        &self.funcs
+    }
+
+    /// Number of regions.
+    pub fn len(&self) -> usize {
+        self.funcs.len()
+    }
+
+    /// Whether the table has no regions at all.
+    pub fn is_empty(&self) -> bool {
+        self.funcs.is_empty()
+    }
+
+    /// All statically resolved call sites, in program order.
+    pub fn call_sites(&self) -> &[CallSite] {
+        &self.call_sites
+    }
+
+    /// Index of the region containing `pc`, if any (instructions before the
+    /// first named position belong to no region).
+    pub fn index_of(&self, pc: usize) -> Option<usize> {
+        match self.funcs.binary_search_by(|f| f.start.cmp(&pc)) {
+            Ok(i) => Some(i),
+            Err(0) => None,
+            Err(i) => (pc < self.funcs[i - 1].end).then_some(i - 1),
+        }
+    }
+
+    /// The region containing `pc`, if any.
+    pub fn function_at(&self, pc: usize) -> Option<&FuncSym> {
+        self.index_of(pc).map(|i| &self.funcs[i])
+    }
+
+    /// Index of the region *starting exactly at* `pc`, if any. This is what
+    /// distinguishes a call landing on an entry from ordinary control flow.
+    pub fn entry_at(&self, pc: usize) -> Option<usize> {
+        self.funcs
+            .binary_search_by(|f| f.start.cmp(&pc))
+            .ok()
+    }
+
+    /// Region name by index.
+    pub fn name(&self, index: usize) -> &str {
+        &self.funcs[index].name
+    }
+
+    /// Human-readable position: `name+offset` inside a region, `pc N` outside.
+    pub fn locate(&self, pc: usize) -> String {
+        match self.function_at(pc) {
+            Some(f) if pc == f.start => f.name.clone(),
+            Some(f) => format!("{}+{}", f.name, pc - f.start),
+            None => format!("pc {pc}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reg::Reg;
+
+    fn table() -> SymbolTable {
+        // 0..3 = main, 3..5 = fn:a, 5..8 = fn:b; jal at 1 targets fn:a.
+        let symbols: HashMap<String, usize> = [
+            ("main".to_string(), 0),
+            ("fn:a".to_string(), 3),
+            ("fn:b".to_string(), 5),
+        ]
+        .into_iter()
+        .collect();
+        let insns = vec![
+            Insn::Nop,
+            Insn::Jal(3, Reg::Link),
+            Insn::Nop,
+            Insn::Nop,
+            Insn::Jr(Reg::Link),
+            Insn::Nop,
+            Insn::Nop,
+            Insn::Halt(Reg::Zero),
+        ];
+        SymbolTable::build(&symbols, &insns)
+    }
+
+    #[test]
+    fn ranges_cover_the_program() {
+        let t = table();
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.functions()[0].name, "main");
+        assert_eq!((t.functions()[0].start, t.functions()[0].end), (0, 3));
+        assert_eq!((t.functions()[2].start, t.functions()[2].end), (5, 8));
+        assert_eq!(t.index_of(0), Some(0));
+        assert_eq!(t.index_of(2), Some(0));
+        assert_eq!(t.index_of(3), Some(1));
+        assert_eq!(t.index_of(7), Some(2));
+        assert_eq!(t.index_of(8), None, "past the end");
+    }
+
+    #[test]
+    fn entries_and_locations() {
+        let t = table();
+        assert_eq!(t.entry_at(3), Some(1));
+        assert_eq!(t.entry_at(4), None);
+        assert_eq!(t.locate(0), "main");
+        assert_eq!(t.locate(4), "fn:a+1");
+        assert_eq!(t.locate(99), "pc 99");
+    }
+
+    #[test]
+    fn static_call_sites_resolve() {
+        let t = table();
+        assert_eq!(
+            t.call_sites(),
+            &[CallSite {
+                pc: 1,
+                caller: 0,
+                callee: 1
+            }]
+        );
+    }
+
+    #[test]
+    fn unnamed_prefix_belongs_to_no_region() {
+        let symbols: HashMap<String, usize> = [("f".to_string(), 2)].into_iter().collect();
+        let insns = vec![Insn::Nop, Insn::Nop, Insn::Nop, Insn::Halt(Reg::Zero)];
+        let t = SymbolTable::build(&symbols, &insns);
+        assert_eq!(t.index_of(0), None);
+        assert_eq!(t.index_of(1), None);
+        assert_eq!(t.index_of(2), Some(0));
+        assert_eq!(t.locate(1), "pc 1");
+    }
+
+    #[test]
+    fn empty_table() {
+        let t = SymbolTable::default();
+        assert!(t.is_empty());
+        assert_eq!(t.index_of(0), None);
+        assert_eq!(t.entry_at(0), None);
+    }
+}

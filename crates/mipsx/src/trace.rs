@@ -100,11 +100,24 @@ impl Observer for NoTrace {
     }
 }
 
+/// What [`TraceBuffer::drain`] hands back: the retirements, the parallel
+/// `(annotation, cumulative cycle)` sidecar, and the squashed-slot log.
+pub type DrainedTrace = (
+    Vec<Retirement>,
+    Vec<(Annot, u64)>,
+    Vec<(usize, Annot, u64)>,
+);
+
 /// An observer that records the whole run in memory.
 ///
 /// Only suitable for small programs — the ten benchmark workloads retire
 /// hundreds of millions of instructions, for which a streaming observer (as in
-/// the `conformance` crate's lockstep harness) is the right tool.
+/// the `conformance` crate's lockstep harness) is the right tool. As a middle
+/// ground, [`TraceBuffer::bounded`] caps the recording and stops the
+/// simulation (via `ControlFlow::Break`, surfacing as
+/// [`crate::SimError::Stopped`]) once the cap is reached, and
+/// [`TraceBuffer::drain`] hands the records out batch-wise so one buffer can
+/// be reused across windows of a long run.
 #[derive(Debug, Clone, Default)]
 pub struct TraceBuffer {
     /// Every retirement, in order.
@@ -113,12 +126,54 @@ pub struct TraceBuffer {
     pub annotations: Vec<(Annot, u64)>,
     /// Squashed delay slots as `(pc, branch annot, cycle)`.
     pub squashes: Vec<(usize, Annot, u64)>,
+    /// When set, `retire` breaks out of the run once this many records are
+    /// held (squashes don't count against the bound).
+    limit: Option<usize>,
+}
+
+impl TraceBuffer {
+    /// An unbounded buffer (same as `TraceBuffer::default()`).
+    pub fn new() -> TraceBuffer {
+        TraceBuffer::default()
+    }
+
+    /// A buffer that stops the simulation after recording `limit`
+    /// retirements; the run then ends with [`crate::SimError::Stopped`].
+    pub fn bounded(limit: usize) -> TraceBuffer {
+        TraceBuffer {
+            limit: Some(limit),
+            ..TraceBuffer::default()
+        }
+    }
+
+    /// Number of retirements currently held.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether no retirement has been recorded (squashes don't count).
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Take everything recorded so far, leaving the buffer empty (and, for a
+    /// bounded buffer, ready to accept `limit` more records).
+    pub fn drain(&mut self) -> DrainedTrace {
+        (
+            std::mem::take(&mut self.records),
+            std::mem::take(&mut self.annotations),
+            std::mem::take(&mut self.squashes),
+        )
+    }
 }
 
 impl Observer for TraceBuffer {
     fn retire(&mut self, ev: &Retirement, annot: Annot, cycle: u64) -> ControlFlow<()> {
         self.records.push(*ev);
         self.annotations.push((annot, cycle));
+        if self.limit.is_some_and(|l| self.records.len() >= l) {
+            return ControlFlow::Break(());
+        }
         ControlFlow::Continue(())
     }
 

@@ -58,6 +58,7 @@
 
 mod config;
 mod measure;
+pub mod metrics;
 pub mod paper;
 pub mod report;
 mod session;
@@ -68,4 +69,5 @@ pub use lisp::CheckingMode;
 #[allow(deprecated)]
 pub use measure::run_all;
 pub use measure::{run_benchmark, run_program, Measurement, StudyError, Timing};
+pub use metrics::{Event, Histogram, Json, MetricsRegistry};
 pub use session::{Progress, Session, SessionStats};

@@ -29,6 +29,7 @@ use std::time::Duration;
 
 use crate::config::Config;
 use crate::measure::{run_benchmark_timed, Measurement, StudyError, Timing};
+use crate::metrics::{names, MetricsRegistry, DURATION_BUCKETS, OCCUPANCY_BUCKETS};
 
 /// A progress event, delivered to the session's callback as measurements move
 /// through the engine. Callbacks run on worker threads; keep them cheap.
@@ -94,6 +95,12 @@ pub struct Session {
     parallelism: NonZeroUsize,
     progress: Option<ProgressFn>,
     stats: SessionStats,
+    /// The structured metrics/event registry every lifecycle event flows
+    /// through (see [`crate::metrics`]); `Progress` is an adapter fed from
+    /// the same spine. Behind a mutex because workers report through `&self`.
+    metrics: Mutex<MetricsRegistry>,
+    /// Measurements currently on a worker (pool-occupancy observations).
+    inflight: AtomicUsize,
 }
 
 impl Default for Session {
@@ -122,6 +129,8 @@ impl Session {
             parallelism,
             progress: None,
             stats: SessionStats::default(),
+            metrics: Mutex::new(MetricsRegistry::new()),
+            inflight: AtomicUsize::new(0),
         }
     }
 
@@ -201,8 +210,13 @@ impl Session {
                 });
             } else if pending.contains(&key) {
                 // In-flight dedup: a second request of the same point rides
-                // along with the first and counts as a hit.
+                // along with the first and counts as a hit (and is reported
+                // as one, so every request produces exactly one event).
                 self.stats.hits += 1;
+                self.emit(&Progress::Hit {
+                    program: key.0,
+                    config: *config,
+                });
             } else {
                 pending.push(key);
             }
@@ -218,7 +232,20 @@ impl Session {
                         self.stats.sim_time += timing.simulate;
                         self.cache.insert(key.clone(), (measurement, timing));
                     }
-                    Err(e) => errors.push(e),
+                    Err(e) => {
+                        let mut m = self.lock_metrics();
+                        m.inc(names::FAILURES);
+                        m.event(
+                            "measure_failed",
+                            &[
+                                ("program", &key.0),
+                                ("config", &key.1.to_string()),
+                                ("error", &e.to_string()),
+                            ],
+                        );
+                        drop(m);
+                        errors.push(e);
+                    }
                 }
             }
         }
@@ -307,8 +334,19 @@ impl Session {
         obs: &mut O,
     ) -> Result<Measurement, StudyError> {
         let compiled = self.compile_program(program, config)?;
+        self.run_compiled_observed(program, config, &compiled, fuel, obs)
+    }
+
+    fn run_compiled_observed<O: mipsx::trace::Observer>(
+        &self,
+        program: &str,
+        config: Config,
+        compiled: &lisp::CompiledProgram,
+        fuel: u64,
+        obs: &mut O,
+    ) -> Result<Measurement, StudyError> {
         let outcome =
-            lisp::run_observed(&compiled, fuel, obs).map_err(|e| StudyError::Sim {
+            lisp::run_observed(compiled, fuel, obs).map_err(|e| StudyError::Sim {
                 program: program.to_string(),
                 message: e.to_string(),
             })?;
@@ -327,6 +365,45 @@ impl Session {
             stats: outcome.stats,
             compile: compiled.stats,
         })
+    }
+
+    /// Compile `program` under `config` and run it with a cycle-attribution
+    /// [`mipsx::Profiler`] attached, validating the output like any other
+    /// measurement. Returns the measurement together with the profiler, whose
+    /// books are guaranteed to reconcile with `measurement.stats` (the
+    /// profiler asserts this property; see [`mipsx::Profiler::reconcile`]).
+    ///
+    /// Profiled runs are never cached — the observer is the point.
+    ///
+    /// # Errors
+    ///
+    /// Any [`StudyError`] compilation or simulation raises.
+    pub fn profile(
+        &self,
+        program: &str,
+        config: Config,
+        fuel: u64,
+    ) -> Result<(Measurement, mipsx::Profiler), StudyError> {
+        self.emit(&Progress::Started {
+            program: program.to_string(),
+            config,
+        });
+        let t0 = std::time::Instant::now();
+        let compiled = self.compile_program(program, config)?;
+        let compile = t0.elapsed();
+        let mut profiler = mipsx::Profiler::new(&compiled.program);
+        let t1 = std::time::Instant::now();
+        let measurement =
+            self.run_compiled_observed(program, config, &compiled, fuel, &mut profiler)?;
+        self.emit(&Progress::Finished {
+            program: program.to_string(),
+            config,
+            timing: Timing {
+                compile,
+                simulate: t1.elapsed(),
+            },
+        });
+        Ok((measurement, profiler))
     }
 
     /// Render the observability surface as a short plain-text summary: cache
@@ -368,7 +445,77 @@ impl Session {
         out
     }
 
+    /// Lock the metrics registry, riding over a poisoned lock (a panicking
+    /// progress callback must not take observability down with it).
+    fn lock_metrics(&self) -> std::sync::MutexGuard<'_, MetricsRegistry> {
+        self.metrics.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// A snapshot of the session's metrics registry: every counter, histogram
+    /// and event recorded so far, plus point-in-time gauges (configured
+    /// workers, peak occupancy, cache size).
+    pub fn metrics(&self) -> MetricsRegistry {
+        let mut m = self.lock_metrics().clone();
+        m.set_gauge(names::WORKERS_CONFIGURED, self.parallelism.get() as f64);
+        m.set_gauge(names::CACHED_MEASUREMENTS, self.cache.len() as f64);
+        m
+    }
+
+    /// The metrics snapshot serialized as JSON (see
+    /// [`MetricsRegistry::to_json`]).
+    pub fn metrics_json(&self) -> String {
+        self.metrics().to_json()
+    }
+
+    /// The metrics snapshot in Prometheus text-exposition format (see
+    /// [`MetricsRegistry::to_prometheus`]).
+    pub fn metrics_prometheus(&self) -> String {
+        self.metrics().to_prometheus()
+    }
+
+    /// The instrumentation spine: record the event in the metrics registry,
+    /// then hand it to the optional [`Progress`] adapter.
     fn emit(&self, event: &Progress) {
+        {
+            let mut m = self.lock_metrics();
+            match event {
+                Progress::Hit { program, config } => {
+                    m.inc(names::REQUESTS);
+                    m.inc(names::CACHE_HITS);
+                    m.event(
+                        "cache_hit",
+                        &[("program", program), ("config", &config.to_string())],
+                    );
+                }
+                Progress::Started { program, config } => {
+                    m.inc(names::REQUESTS);
+                    m.inc(names::CACHE_MISSES);
+                    m.event(
+                        "measure_started",
+                        &[("program", program), ("config", &config.to_string())],
+                    );
+                }
+                Progress::Finished {
+                    program,
+                    config,
+                    timing,
+                } => {
+                    let compile = timing.compile.as_secs_f64();
+                    let simulate = timing.simulate.as_secs_f64();
+                    m.observe(names::COMPILE_SECONDS, DURATION_BUCKETS, compile);
+                    m.observe(names::SIMULATE_SECONDS, DURATION_BUCKETS, simulate);
+                    m.event(
+                        "measure_finished",
+                        &[
+                            ("program", program),
+                            ("config", &config.to_string()),
+                            ("compile_s", &compile.to_string()),
+                            ("simulate_s", &simulate.to_string()),
+                        ],
+                    );
+                }
+            }
+        }
         if let Some(f) = &self.progress {
             f(event);
         }
@@ -407,25 +554,42 @@ impl Session {
         let Some(benchmark) = programs::by_name(name) else {
             return Err(StudyError::UnknownProgram(name.clone()));
         };
+        let depth = self.inflight.fetch_add(1, Ordering::Relaxed) + 1;
+        {
+            let mut m = self.lock_metrics();
+            m.observe(names::POOL_OCCUPANCY, OCCUPANCY_BUCKETS, depth as f64);
+            m.gauge_max(names::POOL_PEAK_OCCUPANCY, depth as f64);
+        }
+        let result = self.run_one_inner(name, config, benchmark);
+        self.inflight.fetch_sub(1, Ordering::Relaxed);
+        result
+    }
+
+    fn run_one_inner(
+        &self,
+        name: &str,
+        config: &Config,
+        benchmark: &programs::Benchmark,
+    ) -> MeasureResult {
         // The Started emit runs inside the panic guard too: a misbehaving
         // progress callback surfaces as this measurement's error, not as a
         // harness abort.
         let result = catch_unwind(AssertUnwindSafe(|| {
             self.emit(&Progress::Started {
-                program: name.clone(),
+                program: name.to_owned(),
                 config: *config,
             });
             run_benchmark_timed(benchmark, config)
         }))
             .unwrap_or_else(|payload| {
                 Err(StudyError::Sim {
-                    program: name.clone(),
+                    program: name.to_owned(),
                     message: format!("measurement worker panicked: {}", panic_text(&payload)),
                 })
             });
         if let Ok((_, timing)) = &result {
             self.emit(&Progress::Finished {
-                program: name.clone(),
+                program: name.to_owned(),
                 config: *config,
                 timing: *timing,
             });
