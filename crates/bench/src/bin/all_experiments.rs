@@ -10,6 +10,7 @@
 //! cache saved.
 
 fn main() {
+    bench::reject_args("all_experiments");
     use tagstudy::{report, tables};
     let mut session = bench::session();
     let names = tables::default_programs();

@@ -1,6 +1,7 @@
 //! Regenerate Figure 1: % of time spent on each tag-handling operation.
 
 fn main() {
+    bench::reject_args("figure1");
     let mut session = bench::session();
     let names = tagstudy::tables::default_programs();
     let f = bench::unwrap_study(tagstudy::tables::figure1_for(&mut session, &names));

@@ -2,6 +2,7 @@
 //! tag masking.
 
 fn main() {
+    bench::reject_args("figure2");
     let mut session = bench::session();
     let f = bench::unwrap_study(tagstudy::tables::figure2_for(
         &mut session,

@@ -1,6 +1,7 @@
 //! Regenerate the §4.2/§6.2.2 generic-arithmetic studies.
 
 fn main() {
+    bench::reject_args("generic_arith");
     let mut session = bench::session();
     let g = bench::unwrap_study(tagstudy::tables::generic_arith_study_for(
         &mut session,

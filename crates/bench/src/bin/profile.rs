@@ -15,8 +15,12 @@
 //! prints folded call stacks (`frame;frame count` per line) ready for
 //! `flamegraph.pl` or any compatible renderer. `--metrics json|prom` prints
 //! the session's metrics registry after the run, in JSON or Prometheus text.
+//!
+//! Scheme/checking/hardware names are the shared [`bench::spec`] vocabulary —
+//! the same strings `tagctl` and the `tagstudyd` wire protocol accept.
 
-use tagstudy::{CheckingMode, Config};
+use bench::spec;
+use tagstudy::Config;
 
 fn usage() -> ! {
     eprintln!(
@@ -35,38 +39,31 @@ fn next_arg(args: &mut std::vec::IntoIter<String>, flag: &str) -> String {
     })
 }
 
+/// Unwrap a spec-vocabulary parse, or print its message and the usage text.
+fn parse_or_usage<T>(r: Result<T, String>) -> T {
+    r.unwrap_or_else(|message| {
+        eprintln!("{message}");
+        usage()
+    })
+}
+
 fn main() {
     let mut args = std::env::args().skip(1).collect::<Vec<_>>().into_iter();
     let Some(benchmark) = args.next() else { usage() };
-    if benchmark.starts_with('-') {
+    if benchmark.starts_with('-') || programs::by_name(&benchmark).is_none() {
+        eprintln!("unknown benchmark {benchmark:?}");
         usage();
     }
     let mut scheme = tagword::TagScheme::HighTag5;
-    let mut checking = CheckingMode::Full;
-    let mut hw_name = "plain".to_string();
+    let mut checking = tagstudy::CheckingMode::Full;
+    let mut hw_name = spec::DEFAULT_HW.to_string();
     let mut folded = false;
     let mut metrics: Option<String> = None;
     while let Some(arg) = args.next() {
         match arg.as_str() {
-            "--scheme" => {
-                let v = next_arg(&mut args, "--scheme");
-                scheme = match tagword::ALL_SCHEMES.iter().find(|s| s.name() == v) {
-                    Some(s) => *s,
-                    None => {
-                        eprintln!("unknown scheme {v:?}");
-                        usage()
-                    }
-                };
-            }
+            "--scheme" => scheme = parse_or_usage(spec::parse_scheme(&next_arg(&mut args, "--scheme"))),
             "--checking" => {
-                checking = match next_arg(&mut args, "--checking").as_str() {
-                    "none" => CheckingMode::None,
-                    "full" => CheckingMode::Full,
-                    v => {
-                        eprintln!("unknown checking mode {v:?}");
-                        usage()
-                    }
-                };
+                checking = parse_or_usage(spec::parse_checking(&next_arg(&mut args, "--checking")));
             }
             "--hw" => hw_name = next_arg(&mut args, "--hw"),
             "--folded" => folded = true,
@@ -77,17 +74,9 @@ fn main() {
             }
         }
     }
-    let hw = match hw_name.as_str() {
-        "plain" => mipsx::HwConfig::plain(),
-        "tagbr" => mipsx::HwConfig::with_tag_branch(),
-        "genarith" => mipsx::HwConfig::with_generic_arith(),
-        "maximal" => mipsx::HwConfig::maximal(scheme.tag_bits()),
-        "spur" => mipsx::HwConfig::spur(scheme.tag_bits()),
-        v => {
-            eprintln!("unknown hardware level {v:?}");
-            usage()
-        }
-    };
+    // Hardware is parsed after the flag loop: `maximal`/`spur` depend on the
+    // scheme's tag width, and `--scheme` may come after `--hw` on the line.
+    let hw = parse_or_usage(spec::parse_hw(&hw_name, scheme));
     let config = Config::new(scheme, checking).with_hw(hw);
 
     let session = bench::session();

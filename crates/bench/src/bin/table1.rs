@@ -1,6 +1,7 @@
 //! Regenerate Table 1: % increase in execution time from full run-time checking.
 
 fn main() {
+    bench::reject_args("table1");
     let mut session = bench::session();
     let t = bench::unwrap_study(tagstudy::tables::table1_for(
         &mut session,

@@ -2,6 +2,7 @@
 //! support level, including the §7 SPUR comparison.
 
 fn main() {
+    bench::reject_args("table2");
     let mut session = bench::session();
     let t = bench::unwrap_study(tagstudy::tables::table2_for(
         &mut session,

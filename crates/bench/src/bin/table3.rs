@@ -1,6 +1,7 @@
 //! Regenerate Table 3: static statistics of the ten benchmark programs.
 
 fn main() {
+    bench::reject_args("table3");
     let mut session = bench::session();
     let t = bench::unwrap_study(tagstudy::tables::table3_for(
         &mut session,

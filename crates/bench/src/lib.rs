@@ -15,7 +15,23 @@
 
 #![deny(missing_docs)]
 
+pub mod spec;
+
 use tagstudy::{Measurement, Progress, Session};
+
+/// Guard for the no-argument binaries (`table1`, …, `all_experiments`): any
+/// command-line argument is a mistake, so print usage and exit 2 instead of
+/// silently ignoring it.
+pub fn reject_args(binary: &str) {
+    let extra: Vec<String> = std::env::args().skip(1).collect();
+    if !extra.is_empty() {
+        eprintln!(
+            "usage: {binary} (takes no arguments; got {extra:?})\n\
+             tables and figures go to stdout, session telemetry to stderr"
+        );
+        std::process::exit(2);
+    }
+}
 
 /// Exit with a readable message on measurement failure.
 pub fn unwrap_study<T>(r: Result<T, tagstudy::StudyError>) -> T {

@@ -1,0 +1,195 @@
+//! Textual experiment specs, shared by every front end.
+//!
+//! One experiment point is written `program:scheme:checking:hw` with trailing
+//! fields optional (`frl`, `frl:low2`, `frl:high5:full:tagbr`, …). The same
+//! grammar — and the same flag vocabulary (`--scheme`, `--checking`, `--hw`)
+//! — is understood by the `profile` binary, the `tagctl` client, and the
+//! `tagstudyd` daemon's wire protocol, so a spec that works in one place works
+//! everywhere.
+
+use tagstudy::{CheckingMode, Config};
+
+/// Defaults when a spec omits a field: the paper's measured configuration
+/// (HighTag5, full checking, stock hardware).
+pub const DEFAULT_SCHEME: &str = "high5";
+/// Default checking mode name.
+pub const DEFAULT_CHECKING: &str = "full";
+/// Default hardware level name.
+pub const DEFAULT_HW: &str = "plain";
+
+/// The accepted hardware level names, for usage strings.
+pub const HW_LEVELS: &[&str] = &["plain", "tagbr", "genarith", "maximal", "spur"];
+
+/// One validated experiment point: a known benchmark and a full [`Config`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ExperimentSpec {
+    /// Benchmark name (validated against [`programs::names`]).
+    pub program: String,
+    /// The configuration to measure it under.
+    pub config: Config,
+}
+
+impl ExperimentSpec {
+    /// Render back to the canonical `program:scheme:checking:hw` form.
+    pub fn to_spec_string(&self) -> String {
+        format!(
+            "{}:{}:{}:{}",
+            self.program,
+            self.config.scheme.name(),
+            match self.config.checking {
+                CheckingMode::None => "none",
+                CheckingMode::Full => "full",
+            },
+            hw_level_name(&self.config)
+        )
+    }
+}
+
+/// Name the hardware level of `config` (the inverse of [`parse_hw`] for the
+/// levels the spec grammar can express; unrecognised combinations print as
+/// `custom`).
+pub fn hw_level_name(config: &Config) -> &'static str {
+    let bits = config.scheme.tag_bits();
+    let hw = config.hw;
+    if hw == mipsx::HwConfig::plain() {
+        "plain"
+    } else if hw == mipsx::HwConfig::with_tag_branch() {
+        "tagbr"
+    } else if hw == mipsx::HwConfig::with_generic_arith() {
+        "genarith"
+    } else if hw == mipsx::HwConfig::maximal(bits) {
+        "maximal"
+    } else if hw == mipsx::HwConfig::spur(bits) {
+        "spur"
+    } else {
+        "custom"
+    }
+}
+
+/// Parse a tag-scheme name (`high5`, `high6`, `low2`, `low3`).
+///
+/// # Errors
+///
+/// A usage-ready message naming the accepted schemes.
+pub fn parse_scheme(name: &str) -> Result<tagword::TagScheme, String> {
+    tagword::ALL_SCHEMES
+        .iter()
+        .find(|s| s.name() == name)
+        .copied()
+        .ok_or_else(|| {
+            let all: Vec<&str> = tagword::ALL_SCHEMES.iter().map(|s| s.name()).collect();
+            format!("unknown scheme {name:?} (want one of: {})", all.join(", "))
+        })
+}
+
+/// Parse a checking-mode name (`none` or `full`).
+///
+/// # Errors
+///
+/// A usage-ready message naming the accepted modes.
+pub fn parse_checking(name: &str) -> Result<CheckingMode, String> {
+    match name {
+        "none" => Ok(CheckingMode::None),
+        "full" => Ok(CheckingMode::Full),
+        _ => Err(format!("unknown checking mode {name:?} (want none or full)")),
+    }
+}
+
+/// Parse a hardware level name for `scheme` (the tag-dependent levels need the
+/// scheme's tag width).
+///
+/// # Errors
+///
+/// A usage-ready message naming the accepted levels.
+pub fn parse_hw(name: &str, scheme: tagword::TagScheme) -> Result<mipsx::HwConfig, String> {
+    match name {
+        "plain" => Ok(mipsx::HwConfig::plain()),
+        "tagbr" => Ok(mipsx::HwConfig::with_tag_branch()),
+        "genarith" => Ok(mipsx::HwConfig::with_generic_arith()),
+        "maximal" => Ok(mipsx::HwConfig::maximal(scheme.tag_bits())),
+        "spur" => Ok(mipsx::HwConfig::spur(scheme.tag_bits())),
+        _ => Err(format!(
+            "unknown hardware level {name:?} (want one of: {})",
+            HW_LEVELS.join(", ")
+        )),
+    }
+}
+
+/// Parse one `program[:scheme[:checking[:hw]]]` spec, validating the benchmark
+/// name against the registry.
+///
+/// # Errors
+///
+/// A usage-ready message for an unknown benchmark, unknown field value, or too
+/// many `:`-separated fields.
+pub fn parse_spec(text: &str) -> Result<ExperimentSpec, String> {
+    let mut fields = text.split(':');
+    let program = fields.next().unwrap_or_default();
+    if programs::by_name(program).is_none() {
+        return Err(format!(
+            "unknown benchmark {program:?} (want one of: {})",
+            programs::names().join(", ")
+        ));
+    }
+    let scheme = parse_scheme(fields.next().unwrap_or(DEFAULT_SCHEME))?;
+    let checking = parse_checking(fields.next().unwrap_or(DEFAULT_CHECKING))?;
+    let hw = parse_hw(fields.next().unwrap_or(DEFAULT_HW), scheme)?;
+    if let Some(extra) = fields.next() {
+        return Err(format!(
+            "trailing field {extra:?} in spec {text:?} (want program[:scheme[:checking[:hw]]])"
+        ));
+    }
+    Ok(ExperimentSpec {
+        program: program.to_string(),
+        config: Config::new(scheme, checking).with_hw(hw),
+    })
+}
+
+/// One line describing the spec grammar, for usage messages.
+pub fn spec_grammar() -> String {
+    let schemes: Vec<&str> = tagword::ALL_SCHEMES.iter().map(|s| s.name()).collect();
+    format!(
+        "spec: program[:scheme[:checking[:hw]]]  (schemes: {}; checking: none|full; hw: {})\n\
+         benchmarks: {}",
+        schemes.join("|"),
+        HW_LEVELS.join("|"),
+        programs::names().join(" ")
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_and_full_form() {
+        let s = parse_spec("frl").unwrap();
+        assert_eq!(s.program, "frl");
+        assert_eq!(s.config, Config::baseline(CheckingMode::Full));
+        assert_eq!(s.to_spec_string(), "frl:high5:full:plain");
+
+        let s = parse_spec("boyer:low2:none:tagbr").unwrap();
+        assert_eq!(s.config.scheme, tagword::TagScheme::LowTag2);
+        assert_eq!(s.config.checking, CheckingMode::None);
+        assert_eq!(s.config.hw, mipsx::HwConfig::with_tag_branch());
+        assert_eq!(s.to_spec_string(), "boyer:low2:none:tagbr");
+    }
+
+    #[test]
+    fn every_hw_level_round_trips() {
+        for hw in HW_LEVELS {
+            let s = parse_spec(&format!("frl:high6:full:{hw}")).unwrap();
+            assert_eq!(hw_level_name(&s.config), *hw);
+            assert_eq!(parse_spec(&s.to_spec_string()).unwrap(), s);
+        }
+    }
+
+    #[test]
+    fn bad_specs_are_described() {
+        assert!(parse_spec("nope").unwrap_err().contains("unknown benchmark"));
+        assert!(parse_spec("frl:tag9").unwrap_err().contains("unknown scheme"));
+        assert!(parse_spec("frl:high5:maybe").unwrap_err().contains("checking"));
+        assert!(parse_spec("frl:high5:full:warp").unwrap_err().contains("hardware"));
+        assert!(parse_spec("frl:high5:full:plain:x").unwrap_err().contains("trailing"));
+    }
+}

@@ -1,0 +1,172 @@
+//! `tagctl` — the command-line client for `tagstudyd`.
+//!
+//! ```text
+//! tagctl [--addr HOST:PORT] submit SPEC...     measure a batch, print a table
+//! tagctl [--addr HOST:PORT] submit --json SPEC...   ... print the raw response
+//! tagctl [--addr HOST:PORT] result KEY         fetch the raw store record
+//! tagctl [--addr HOST:PORT] metrics [--watch SECS]  scrape /metrics (repeatedly)
+//! tagctl [--addr HOST:PORT] health             liveness probe
+//! tagctl [--addr HOST:PORT] shutdown           ask the daemon to drain and exit
+//! ```
+
+use std::process::exit;
+use std::time::Duration;
+
+use serve::http::{fetch, json_string};
+use serve::proto;
+
+const DEFAULT_ADDR: &str = "127.0.0.1:7099";
+const TIMEOUT: Duration = Duration::from_secs(600);
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: tagctl [--addr HOST:PORT] <command>\n\
+         \n\
+         commands:\n\
+         \u{20} submit [--json] SPEC...   measure a batch and print the results\n\
+         \u{20} result KEY                fetch the raw store record for a content address\n\
+         \u{20} metrics [--watch SECS]    scrape /metrics (with --watch: forever)\n\
+         \u{20} health                    liveness probe (exit 0 iff the daemon answers ok)\n\
+         \u{20} shutdown                  ask the daemon to drain in-flight work and exit\n\
+         \n\
+         Default address {DEFAULT_ADDR} (override with --addr or TAGSTUDYD_ADDR).\n\
+         {}",
+        bench::spec::spec_grammar()
+    );
+    exit(2);
+}
+
+fn die(message: &str) -> ! {
+    eprintln!("tagctl: {message}");
+    exit(1);
+}
+
+/// GET/POST and fail loudly on transport errors; non-2xx is returned to the
+/// caller (some commands want to print the error body).
+fn call(addr: &str, method: &str, path: &str, body: &[u8]) -> (u16, String) {
+    match fetch(addr, method, path, body, TIMEOUT) {
+        Ok((status, bytes)) => (status, String::from_utf8_lossy(&bytes).into_owned()),
+        Err(why) => die(&why),
+    }
+}
+
+fn submit(addr: &str, args: &[String]) {
+    let mut raw_json = false;
+    let mut specs: Vec<&str> = Vec::new();
+    for arg in args {
+        match arg.as_str() {
+            "--json" => raw_json = true,
+            other => specs.push(other),
+        }
+    }
+    if specs.is_empty() {
+        eprintln!("tagctl submit: no specs given\n");
+        usage();
+    }
+    // Validate client-side first: a typo earns a usage message, not a 400.
+    for spec in &specs {
+        if let Err(why) = bench::spec::parse_spec(spec) {
+            eprintln!("tagctl submit: {why}\n\n{}", bench::spec::spec_grammar());
+            exit(2);
+        }
+    }
+    let body = format!(
+        "{{\"experiments\":[{}]}}",
+        specs.iter().map(|s| json_string(s)).collect::<Vec<_>>().join(",")
+    );
+    let (status, text) = call(addr, "POST", "/v1/experiments", body.as_bytes());
+    if status != 200 {
+        die(&format!("daemon answered {status}: {}", text.trim_end()));
+    }
+    if raw_json {
+        print!("{text}");
+        return;
+    }
+    let results = proto::parse_results(&text).unwrap_or_else(|why| die(&why));
+    println!(
+        "{:<34} {:>14} {:>12} {:>6}  KEY",
+        "SPEC", "CYCLES", "INSNS", "CPI"
+    );
+    for (spec, key, m) in &results {
+        let cycles = m.stats.cycles;
+        let insns = m.stats.committed;
+        let cpi = if insns == 0 { 0.0 } else { cycles as f64 / insns as f64 };
+        println!("{spec:<34} {cycles:>14} {insns:>12} {cpi:>6.3}  {key}");
+    }
+}
+
+fn metrics(addr: &str, args: &[String]) {
+    let mut watch: Option<u64> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--watch" => {
+                let secs = args.get(i + 1).unwrap_or_else(|| {
+                    eprintln!("tagctl metrics: --watch needs seconds\n");
+                    usage()
+                });
+                watch = Some(secs.parse().unwrap_or_else(|_| {
+                    die(&format!("bad --watch value {secs:?}"))
+                }));
+                i += 2;
+            }
+            other => die(&format!("metrics: unexpected argument {other:?}")),
+        }
+    }
+    loop {
+        let (status, text) = call(addr, "GET", "/metrics", b"");
+        if status != 200 {
+            die(&format!("daemon answered {status}: {}", text.trim_end()));
+        }
+        print!("{text}");
+        let Some(secs) = watch else { return };
+        println!("# --- next scrape in {secs}s ---");
+        std::thread::sleep(Duration::from_secs(secs));
+    }
+}
+
+fn main() {
+    let mut addr =
+        std::env::var("TAGSTUDYD_ADDR").unwrap_or_else(|_| DEFAULT_ADDR.to_string());
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("--addr") {
+        if args.len() < 2 {
+            eprintln!("tagctl: --addr needs a value\n");
+            usage();
+        }
+        addr = args[1].clone();
+        args.drain(..2);
+    }
+    let Some(command) = args.first().cloned() else { usage() };
+    let rest = &args[1..];
+    match command.as_str() {
+        "submit" => submit(&addr, rest),
+        "result" => {
+            let [key] = rest else {
+                eprintln!("tagctl result: want exactly one KEY\n");
+                usage();
+            };
+            let (status, text) = call(&addr, "GET", &format!("/v1/results/{key}"), b"");
+            if status != 200 {
+                die(&format!("daemon answered {status}: {}", text.trim_end()));
+            }
+            print!("{text}");
+        }
+        "metrics" => metrics(&addr, rest),
+        "health" => {
+            let (status, text) = call(&addr, "GET", "/healthz", b"");
+            print!("{text}");
+            exit(i32::from(status != 200));
+        }
+        "shutdown" => {
+            let (status, text) = call(&addr, "POST", "/v1/shutdown", b"");
+            print!("{text}");
+            exit(i32::from(status != 200));
+        }
+        "--help" | "-h" => usage(),
+        other => {
+            eprintln!("tagctl: unknown command {other:?}\n");
+            usage();
+        }
+    }
+}

@@ -1,0 +1,498 @@
+//! `tagstudyd`: the experiment-serving daemon, plus the `tagctl` client's
+//! plumbing.
+//!
+//! The daemon puts a [`tagstudy::Session`] behind a hand-rolled HTTP/1.1
+//! server ([`crate::http`]) and wires it to a persistent
+//! [`store::ResultStore`]: every fresh measurement is written through to disk,
+//! and on startup every still-valid record is seeded back into the session, so
+//! a restarted daemon answers previously-computed batches with **zero**
+//! simulations — provable from `/metrics` (`session_cache_misses_total` stays
+//! 0, `session_seeded_total` counts the preload).
+//!
+//! ## Endpoints
+//!
+//! | Route | Meaning |
+//! |---|---|
+//! | `POST /v1/experiments` | Measure a batch (see [`crate::proto`]); deduplicated and fanned through the session worker pool |
+//! | `GET /v1/results/{key}` | The raw validated store record for a content address |
+//! | `GET /metrics` | Prometheus text: session + daemon + store series |
+//! | `GET /healthz` | Liveness: `ok` |
+//! | `POST /v1/shutdown` | Graceful shutdown: stop accepting, drain, flush |
+//!
+//! ## Overload behavior
+//!
+//! Accepted connections go through a bounded queue. When the queue is full
+//! the acceptor *sheds* the connection immediately — `503` with a
+//! `Retry-After` header — instead of letting latency grow without bound; a
+//! connection that waited in the queue longer than its deadline is shed the
+//! moment a worker picks it up, because by then the client has likely given
+//! up and simulating for a dead socket helps nobody.
+
+#![deny(missing_docs)]
+
+pub mod http;
+pub mod proto;
+
+use std::collections::VecDeque;
+use std::net::{IpAddr, Ipv4Addr, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use bench::spec::ExperimentSpec;
+use store::{ResultStore, StoreKey};
+use tagstudy::{MetricsRegistry, Session};
+
+use http::{Request, Response};
+
+/// Metric names the daemon publishes (alongside the session's and store's).
+pub mod daemon_metrics {
+    /// Counter: HTTP requests parsed and routed.
+    pub const REQUESTS: &str = "daemon_http_requests_total";
+    /// Counter: 2xx responses sent.
+    pub const RESPONSES_2XX: &str = "daemon_http_responses_2xx_total";
+    /// Counter: 4xx responses sent.
+    pub const RESPONSES_4XX: &str = "daemon_http_responses_4xx_total";
+    /// Counter: 5xx responses sent (including sheds).
+    pub const RESPONSES_5XX: &str = "daemon_http_responses_5xx_total";
+    /// Counter: connections shed at accept because the queue was full.
+    pub const QUEUE_SHED: &str = "daemon_queue_shed_total";
+    /// Counter: connections shed at dequeue because they overstayed the
+    /// queue deadline.
+    pub const DEADLINE_SHED: &str = "daemon_deadline_shed_total";
+    /// Counter: experiment batches served.
+    pub const BATCHES: &str = "daemon_batches_total";
+    /// Counter: experiments across all served batches.
+    pub const EXPERIMENTS: &str = "daemon_experiments_total";
+    /// Gauge: connections waiting in the accept queue right now.
+    pub const QUEUE_DEPTH: &str = "daemon_queue_depth";
+    /// Gauge: highest queue depth observed.
+    pub const QUEUE_PEAK: &str = "daemon_queue_peak_depth";
+}
+
+/// Tuning knobs for [`Server::start`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// HTTP worker threads (each serves one connection at a time). The
+    /// *measurement* parallelism is the session's own worker pool, so a small
+    /// number here is plenty.
+    pub http_workers: usize,
+    /// Accepted connections allowed to wait for a worker; beyond this the
+    /// acceptor sheds with `503` + `Retry-After`.
+    pub queue_capacity: usize,
+    /// How long a connection may wait in the queue before a worker sheds it
+    /// instead of serving it.
+    pub queue_deadline: Duration,
+    /// Socket read/write timeout per connection — a stalled peer cannot pin
+    /// a worker forever.
+    pub io_timeout: Duration,
+    /// `Retry-After` seconds advertised on shed responses.
+    pub retry_after_secs: u32,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            http_workers: 4,
+            queue_capacity: 64,
+            queue_deadline: Duration::from_secs(60),
+            io_timeout: Duration::from_secs(30),
+            retry_after_secs: 1,
+        }
+    }
+}
+
+/// What warmed up at startup — reported by [`Server::start`] callers.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WarmStart {
+    /// Records seeded into the session from the store.
+    pub seeded: usize,
+    /// Records on disk that no longer match any current source (skipped).
+    pub skipped: usize,
+}
+
+/// The shared daemon state: the session, the store, the bounded accept
+/// queue, and the daemon-side metrics.
+struct Daemon {
+    session: Mutex<Session>,
+    /// Prometheus text of the session's metrics as of the last time the
+    /// session lock was available — served when a scrape races a batch, so
+    /// `/metrics` never blocks behind a long simulation.
+    session_prom: Mutex<String>,
+    store: Option<Arc<ResultStore>>,
+    metrics: Mutex<MetricsRegistry>,
+    queue: Mutex<VecDeque<(TcpStream, Instant)>>,
+    queue_ready: Condvar,
+    shutting_down: AtomicBool,
+    config: ServerConfig,
+    /// Where to self-connect to unblock the acceptor on shutdown.
+    wake_addr: SocketAddr,
+}
+
+/// A handle for poking a running server from outside the HTTP surface
+/// (used by the binary for logging and by tests for assertions).
+#[derive(Clone)]
+pub struct DaemonHandle(Arc<Daemon>);
+
+impl DaemonHandle {
+    /// Begin graceful shutdown: stop accepting, let workers drain the queue
+    /// and in-flight work. Idempotent. Returns immediately;
+    /// [`Server::join`] observes completion.
+    pub fn shutdown(&self) {
+        self.0.shutdown();
+    }
+
+    /// The full Prometheus exposition the `/metrics` endpoint serves.
+    pub fn metrics_prometheus(&self) -> String {
+        self.0.metrics_prometheus()
+    }
+}
+
+/// A running daemon: the listener thread, the worker pool, and the shared
+/// state. Dropping a `Server` without [`Server::join`] detaches the threads.
+pub struct Server {
+    daemon: Arc<Daemon>,
+    addr: SocketAddr,
+    acceptor: std::thread::JoinHandle<()>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bind `addr` (e.g. `"127.0.0.1:7099"`, or port 0 for an ephemeral
+    /// port) and start serving. When `store` is given, the session writes
+    /// every fresh measurement through to it, and everything still valid on
+    /// disk is seeded back into the session before the first request.
+    ///
+    /// # Errors
+    ///
+    /// Bind failures.
+    pub fn start(
+        addr: impl ToSocketAddrs,
+        store: Option<Arc<ResultStore>>,
+        config: ServerConfig,
+    ) -> std::io::Result<(Server, WarmStart)> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let wake_addr = if addr.ip().is_unspecified() {
+            SocketAddr::new(IpAddr::V4(Ipv4Addr::LOCALHOST), addr.port())
+        } else {
+            addr
+        };
+
+        let mut session = Session::new();
+        if let Some(store) = &store {
+            let sink = Arc::clone(store);
+            session = session.with_writeback(move |m, t| {
+                if let Err(e) = sink.put(m, t) {
+                    eprintln!("[tagstudyd] writeback failed (continuing): {e}");
+                }
+            });
+        }
+        let mut warm = WarmStart::default();
+        if let Some(store) = &store {
+            let on_disk = store.record_count();
+            for (m, t) in store.load_current() {
+                if session.seed(m, t) {
+                    warm.seeded += 1;
+                }
+            }
+            warm.skipped = on_disk.saturating_sub(warm.seeded);
+        }
+
+        let session_prom = session.metrics_prometheus();
+        let daemon = Arc::new(Daemon {
+            session: Mutex::new(session),
+            session_prom: Mutex::new(session_prom),
+            store,
+            metrics: Mutex::new(MetricsRegistry::new()),
+            queue: Mutex::new(VecDeque::new()),
+            queue_ready: Condvar::new(),
+            shutting_down: AtomicBool::new(false),
+            config: config.clone(),
+            wake_addr,
+        });
+
+        let acceptor = {
+            let daemon = Arc::clone(&daemon);
+            std::thread::Builder::new()
+                .name("tagstudyd-accept".to_string())
+                .spawn(move || daemon.accept_loop(listener))?
+        };
+        let workers = (0..config.http_workers.max(1))
+            .map(|i| {
+                let daemon = Arc::clone(&daemon);
+                std::thread::Builder::new()
+                    .name(format!("tagstudyd-worker-{i}"))
+                    .spawn(move || daemon.worker_loop())
+            })
+            .collect::<std::io::Result<Vec<_>>>()?;
+
+        Ok((
+            Server {
+                daemon,
+                addr,
+                acceptor,
+                workers,
+            },
+            warm,
+        ))
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A cloneable handle to the shared daemon state.
+    pub fn handle(&self) -> DaemonHandle {
+        DaemonHandle(Arc::clone(&self.daemon))
+    }
+
+    /// Block until the daemon has shut down (via `POST /v1/shutdown` or
+    /// [`DaemonHandle::shutdown`]): joins the acceptor and every worker —
+    /// which drain all queued and in-flight requests first — then flushes
+    /// the store.
+    pub fn join(self) {
+        let _ = self.acceptor.join();
+        for w in self.workers {
+            let _ = w.join();
+        }
+        if let Some(store) = &self.daemon.store {
+            if let Err(e) = store.flush() {
+                eprintln!("[tagstudyd] store flush failed: {e}");
+            }
+        }
+    }
+}
+
+impl Daemon {
+    fn shutdown(&self) {
+        if self.shutting_down.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Unblock the acceptor's blocking accept() with a throwaway
+        // self-connection, and every idle worker waiting on the queue.
+        let _ = TcpStream::connect_timeout(&self.wake_addr, Duration::from_secs(1));
+        self.queue_ready.notify_all();
+    }
+
+    fn lock_metrics(&self) -> std::sync::MutexGuard<'_, MetricsRegistry> {
+        self.metrics.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Queue an accepted connection, or hand it back when the queue is full.
+    fn try_enqueue(&self, stream: TcpStream) -> Result<usize, TcpStream> {
+        let mut q = self.queue.lock().unwrap_or_else(|e| e.into_inner());
+        if q.len() >= self.config.queue_capacity {
+            Err(stream)
+        } else {
+            q.push_back((stream, Instant::now()));
+            self.queue_ready.notify_one();
+            Ok(q.len())
+        }
+    }
+
+    fn accept_loop(&self, listener: TcpListener) {
+        for stream in listener.incoming() {
+            if self.shutting_down.load(Ordering::SeqCst) {
+                break;
+            }
+            let Ok(stream) = stream else { continue };
+            match self.try_enqueue(stream) {
+                Ok(depth) => {
+                    self.lock_metrics().gauge_max(daemon_metrics::QUEUE_PEAK, depth as f64);
+                }
+                Err(mut stream) => {
+                    // Shed at the door: tell the client when to come back
+                    // rather than queueing unbounded work.
+                    {
+                        let mut m = self.lock_metrics();
+                        m.inc(daemon_metrics::QUEUE_SHED);
+                        m.inc(daemon_metrics::RESPONSES_5XX);
+                    }
+                    let _ = stream.set_write_timeout(Some(self.config.io_timeout));
+                    let mut shed = Response::error(503, "overloaded: accept queue is full");
+                    shed.retry_after = Some(self.config.retry_after_secs);
+                    http::write_response(&mut stream, &shed);
+                    // Half-close and drain the unread request (bounded by the
+                    // short timeout): closing with unread data would RST the
+                    // connection and could discard the 503 we just sent.
+                    let _ = stream.shutdown(std::net::Shutdown::Write);
+                    let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
+                    let mut scratch = [0u8; 4096];
+                    while matches!(std::io::Read::read(&mut stream, &mut scratch), Ok(n) if n > 0)
+                    {
+                    }
+                }
+            }
+        }
+        // Wake the workers so they can observe the flag and drain out.
+        self.queue_ready.notify_all();
+    }
+
+    fn worker_loop(&self) {
+        loop {
+            let next = {
+                let mut q = self.queue.lock().unwrap_or_else(|e| e.into_inner());
+                loop {
+                    if let Some(item) = q.pop_front() {
+                        break Some(item);
+                    }
+                    if self.shutting_down.load(Ordering::SeqCst) {
+                        break None;
+                    }
+                    q = self
+                        .queue_ready
+                        .wait(q)
+                        .unwrap_or_else(|e| e.into_inner());
+                }
+            };
+            let Some((mut stream, enqueued)) = next else {
+                return;
+            };
+            if enqueued.elapsed() > self.config.queue_deadline {
+                {
+                    let mut m = self.lock_metrics();
+                    m.inc(daemon_metrics::DEADLINE_SHED);
+                    m.inc(daemon_metrics::RESPONSES_5XX);
+                }
+                let mut shed =
+                    Response::error(503, "overloaded: request overstayed its queue deadline");
+                shed.retry_after = Some(self.config.retry_after_secs);
+                http::write_response(&mut stream, &shed);
+                continue;
+            }
+            self.serve_connection(stream);
+        }
+    }
+
+    fn serve_connection(&self, mut stream: TcpStream) {
+        let _ = stream.set_read_timeout(Some(self.config.io_timeout));
+        let _ = stream.set_write_timeout(Some(self.config.io_timeout));
+        let response = match http::read_request(&mut stream) {
+            Ok(request) => self.route(&request),
+            Err(why) => Response::error(400, &why),
+        };
+        {
+            let mut m = self.lock_metrics();
+            m.inc(daemon_metrics::REQUESTS);
+            m.inc(match response.status {
+                200..=299 => daemon_metrics::RESPONSES_2XX,
+                400..=499 => daemon_metrics::RESPONSES_4XX,
+                _ => daemon_metrics::RESPONSES_5XX,
+            });
+        }
+        http::write_response(&mut stream, &response);
+    }
+
+    fn route(&self, request: &Request) -> Response {
+        match (request.method.as_str(), request.path.as_str()) {
+            ("GET", "/healthz") => Response::text(200, "ok\n"),
+            ("GET", "/metrics") => Response::text(200, self.metrics_prometheus()),
+            ("POST", "/v1/experiments") => self.handle_batch(&request.body),
+            ("GET", path) if path.starts_with("/v1/results/") => {
+                self.handle_result(&path["/v1/results/".len()..])
+            }
+            ("POST", "/v1/shutdown") => {
+                self.shutdown();
+                Response::json(200, "{\"status\":\"shutting down\"}\n")
+            }
+            (_, "/healthz" | "/metrics" | "/v1/experiments" | "/v1/shutdown") => {
+                Response::error(405, &format!("wrong method for {}", request.path))
+            }
+            _ => Response::error(404, &format!("no route for {}", request.path)),
+        }
+    }
+
+    fn handle_batch(&self, body: &[u8]) -> Response {
+        let specs = match proto::parse_batch(body) {
+            Ok(specs) => specs,
+            Err(why) => return Response::error(400, &why),
+        };
+        let requests: Vec<(&str, tagstudy::Config)> = specs
+            .iter()
+            .map(|s| (s.program.as_str(), s.config))
+            .collect();
+        let mut session = self.session.lock().unwrap_or_else(|e| e.into_inner());
+        let result = session.measure_many(&requests);
+        // Refresh the lock-free metrics snapshot while we hold the session.
+        *self.session_prom.lock().unwrap_or_else(|e| e.into_inner()) =
+            session.metrics_prometheus();
+        drop(session);
+        match result {
+            Ok(measurements) => {
+                {
+                    let mut m = self.lock_metrics();
+                    m.inc(daemon_metrics::BATCHES);
+                    m.add(daemon_metrics::EXPERIMENTS, specs.len() as u64);
+                }
+                let entries: Vec<(ExperimentSpec, StoreKey, tagstudy::Measurement)> = specs
+                    .into_iter()
+                    .zip(measurements)
+                    .map(|(spec, m)| {
+                        let source = programs::by_name(&spec.program)
+                            .expect("spec validated against the registry")
+                            .source;
+                        let key = StoreKey::compute(source, &spec.config);
+                        (spec, key, m)
+                    })
+                    .collect();
+                Response::json(200, proto::results_json(&entries))
+            }
+            Err(e) => Response::error(500, &format!("measurement failed: {e}")),
+        }
+    }
+
+    fn handle_result(&self, key_text: &str) -> Response {
+        let key = match StoreKey::from_hex(key_text) {
+            Ok(key) => key,
+            Err(why) => return Response::error(400, &why),
+        };
+        let Some(store) = &self.store else {
+            return Response::error(404, "daemon is running without a result store");
+        };
+        match store.raw_record(&key) {
+            Some(text) => Response::json(200, text),
+            None => Response::error(404, &format!("no record for key {key}")),
+        }
+    }
+
+    /// The full `/metrics` exposition: session series (fresh if the session
+    /// lock is free, last snapshot if a batch is mid-flight), daemon series,
+    /// store series.
+    fn metrics_prometheus(&self) -> String {
+        let session_text = match self.session.try_lock() {
+            Ok(session) => {
+                let text = session.metrics_prometheus();
+                *self.session_prom.lock().unwrap_or_else(|e| e.into_inner()) = text.clone();
+                text
+            }
+            Err(_) => format!(
+                "# session metrics: snapshot from before the batch in flight\n{}",
+                self.session_prom.lock().unwrap_or_else(|e| e.into_inner())
+            ),
+        };
+        let daemon_text = {
+            let mut m = self.lock_metrics().clone();
+            m.set_gauge(
+                daemon_metrics::QUEUE_DEPTH,
+                self.queue.lock().unwrap_or_else(|e| e.into_inner()).len() as f64,
+            );
+            m.to_prometheus()
+        };
+        let store_text = self.store.as_ref().map_or(String::new(), |store| {
+            let s = store.stats();
+            format!(
+                "store_puts_total {}\nstore_gets_total {}\nstore_hits_total {}\n\
+                 store_quarantined_total {}\nstore_records {}\nstore_quarantine_files {}\n",
+                s.puts,
+                s.gets,
+                s.hits,
+                s.quarantined,
+                store.record_count(),
+                store.quarantine_count()
+            )
+        });
+        format!("{session_text}{daemon_text}{store_text}")
+    }
+}

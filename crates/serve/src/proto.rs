@@ -1,0 +1,203 @@
+//! The daemon's JSON wire protocol: batch requests in, deterministic result
+//! documents out.
+//!
+//! A batch body is `{"experiments": [ <spec>, ... ]}` where each spec is
+//! either a string in the [`bench::spec`] grammar (`"frl:low2:none:tagbr"`) or
+//! an object `{"program": "frl", "scheme": "low2", "checking": "none",
+//! "hw": "tagbr"}` with every field but `program` optional.
+//!
+//! The response is `{"results": [ ... ]}` with one entry per request, in
+//! request order; each entry carries the canonical spec string, the content
+//! address the measurement is stored under, and the measurement itself in the
+//! same deterministic encoding the store uses. Timing is deliberately absent —
+//! it varies run to run, and its absence is what makes daemon responses
+//! byte-identical whether a point was simulated, cached, or warm-loaded from
+//! disk.
+
+use bench::spec::{self, ExperimentSpec};
+use store::{record, StoreKey};
+use tagstudy::{Json, Measurement};
+
+use crate::http::json_string;
+
+/// Upper bound on experiments per batch — a guard rail, not a tuning knob.
+pub const MAX_BATCH: usize = 1024;
+
+fn get<'a>(obj: &'a [(String, Json)], key: &str) -> Option<&'a Json> {
+    obj.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+fn spec_from_object(obj: &[(String, Json)]) -> Result<ExperimentSpec, String> {
+    for (key, _) in obj {
+        if !matches!(key.as_str(), "program" | "scheme" | "checking" | "hw") {
+            return Err(format!(
+                "unknown experiment field {key:?} (want program, scheme, checking, hw)"
+            ));
+        }
+    }
+    let program = get(obj, "program")
+        .ok_or("experiment object is missing \"program\"")?
+        .as_str("program")?;
+    let field = |name: &str, default: &str| -> Result<String, String> {
+        match get(obj, name) {
+            Some(v) => Ok(v.as_str(name)?.to_string()),
+            None => Ok(default.to_string()),
+        }
+    };
+    let text = format!(
+        "{program}:{}:{}:{}",
+        field("scheme", spec::DEFAULT_SCHEME)?,
+        field("checking", spec::DEFAULT_CHECKING)?,
+        field("hw", spec::DEFAULT_HW)?
+    );
+    spec::parse_spec(&text)
+}
+
+/// Parse a batch request body into validated experiment specs.
+///
+/// # Errors
+///
+/// A usage-ready message for malformed JSON, a missing or empty
+/// `experiments` array, an oversized batch, or any invalid spec.
+pub fn parse_batch(body: &[u8]) -> Result<Vec<ExperimentSpec>, String> {
+    let text = std::str::from_utf8(body).map_err(|_| "body is not UTF-8".to_string())?;
+    let root = Json::parse(text)?;
+    let obj = root.as_object("request body")?;
+    let experiments = get(obj, "experiments")
+        .ok_or("request body is missing \"experiments\"")?
+        .as_array("experiments")?;
+    if experiments.is_empty() {
+        return Err("empty batch: \"experiments\" has no entries".to_string());
+    }
+    if experiments.len() > MAX_BATCH {
+        return Err(format!(
+            "batch of {} experiments exceeds the limit of {MAX_BATCH}",
+            experiments.len()
+        ));
+    }
+    experiments
+        .iter()
+        .enumerate()
+        .map(|(i, item)| {
+            match item {
+                Json::Str(text) => spec::parse_spec(text),
+                Json::Obj(obj) => spec_from_object(obj),
+                other => Err(format!("expected a spec string or object, got {other:?}")),
+            }
+            .map_err(|e| format!("experiments[{i}]: {e}"))
+        })
+        .collect()
+}
+
+/// Render the result document for a batch: one entry per request, in request
+/// order, carrying only deterministic data (no timing).
+pub fn results_json(entries: &[(ExperimentSpec, StoreKey, Measurement)]) -> String {
+    let mut out = String::from("{\"results\":[");
+    for (i, (spec, key, m)) in entries.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"spec\":{},\"key\":\"{key}\",\"measurement\":{}}}",
+            json_string(&spec.to_spec_string()),
+            record::measurement_to_json(m)
+        ));
+    }
+    out.push_str("]}\n");
+    out
+}
+
+/// Decode a result document (the client side of [`results_json`]).
+///
+/// # Errors
+///
+/// Malformed JSON or a document not shaped like a result batch.
+pub fn parse_results(text: &str) -> Result<Vec<(String, String, Measurement)>, String> {
+    let root = Json::parse(text)?;
+    let obj = root.as_object("response body")?;
+    if let Some(error) = get(obj, "error") {
+        return Err(format!("daemon error: {}", error.as_str("error")?));
+    }
+    let results = get(obj, "results")
+        .ok_or("response body is missing \"results\"")?
+        .as_array("results")?;
+    results
+        .iter()
+        .map(|item| {
+            let entry = item.as_object("result entry")?;
+            let spec = get(entry, "spec").ok_or("missing spec")?.as_str("spec")?;
+            let key = get(entry, "key").ok_or("missing key")?.as_str("key")?;
+            let m = record::measurement_from_json(
+                get(entry, "measurement").ok_or("missing measurement")?,
+            )?;
+            Ok((spec.to_string(), key.to_string(), m))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tagstudy::CheckingMode;
+
+    #[test]
+    fn batch_accepts_strings_and_objects() {
+        let body = br#"{"experiments": [
+            "frl",
+            {"program": "trav", "scheme": "low2", "checking": "none", "hw": "tagbr"},
+            {"program": "boyer"}
+        ]}"#;
+        let specs = parse_batch(body).unwrap();
+        assert_eq!(specs.len(), 3);
+        assert_eq!(specs[0].to_spec_string(), "frl:high5:full:plain");
+        assert_eq!(specs[1].to_spec_string(), "trav:low2:none:tagbr");
+        assert_eq!(specs[2].config, tagstudy::Config::baseline(CheckingMode::Full));
+    }
+
+    #[test]
+    fn batch_errors_name_the_offender() {
+        let err = parse_batch(b"{\"experiments\": [\"frl\", \"nope\"]}").unwrap_err();
+        assert!(err.contains("experiments[1]"), "{err}");
+        assert!(err.contains("unknown benchmark"), "{err}");
+
+        let err = parse_batch(b"{\"experiments\": []}").unwrap_err();
+        assert!(err.contains("empty batch"), "{err}");
+
+        let err = parse_batch(b"{}").unwrap_err();
+        assert!(err.contains("missing \"experiments\""), "{err}");
+
+        let err = parse_batch(b"{\"experiments\": [{\"prog\": \"frl\"}]}").unwrap_err();
+        assert!(err.contains("unknown experiment field"), "{err}");
+
+        let err = parse_batch(b"not json").unwrap_err();
+        assert!(!err.is_empty());
+    }
+
+    /// results_json and parse_results are inverses for the deterministic part.
+    #[test]
+    fn results_round_trip() {
+        let spec = bench::spec::parse_spec("frl:high6:none:maximal").unwrap();
+        let m = Measurement {
+            program: spec.program.clone(),
+            config: spec.config,
+            stats: mipsx::Stats {
+                cycles: 123,
+                committed: 45,
+                ..Default::default()
+            },
+            compile: lisp::CompileStats {
+                procedures: 1,
+                source_lines: 2,
+                object_words: 3,
+            },
+        };
+        let key = StoreKey::compute("fake source", &spec.config);
+        let doc = results_json(&[(spec.clone(), key.clone(), m.clone())]);
+        let parsed = parse_results(&doc).unwrap();
+        assert_eq!(parsed.len(), 1);
+        assert_eq!(parsed[0].0, spec.to_spec_string());
+        assert_eq!(parsed[0].1, key.as_str());
+        assert_eq!(parsed[0].2.stats, m.stats);
+        assert_eq!(parsed[0].2.config, m.config);
+    }
+}

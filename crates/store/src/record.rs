@@ -1,0 +1,427 @@
+//! The on-disk record codec: deterministic JSON for a [`Measurement`] plus its
+//! [`Timing`], wrapped in a versioned, checksummed envelope.
+//!
+//! Everything here is exact: all numeric fields are `u64`/`usize` counters or
+//! `Duration` nanoseconds, map-shaped statistics are emitted as arrays sorted
+//! by key, and enum variants are written by name — so encode → decode → encode
+//! is byte-identical, which is what lets a checksum over the payload text
+//! detect any corruption.
+
+use std::time::Duration;
+
+use mipsx::{
+    CheckCat, HwConfig, InsnClass, ParallelCheck, Provenance, Stats, TagOpKind, ALL_CHECK_CATS,
+    ALL_CLASSES, ALL_TAG_OPS,
+};
+use tagstudy::{CheckingMode, Config, Json, Measurement, Timing};
+
+use crate::{fnv1a64, StoreKey, FORMAT_VERSION};
+
+// ---------------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------------
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// The canonical JSON encoding of a [`Config`] — every field spelled out, so
+/// adding a field to `Config` changes the encoding (and therefore every store
+/// key) instead of silently aliasing distinct configurations.
+pub fn config_to_json(c: &Config) -> String {
+    let hw = c.hw;
+    format!(
+        "{{\"scheme\":{},\"checking\":\"{:?}\",\"hw\":{{\"drop_high_address_bits\":{},\
+         \"tag_branch\":{},\"parallel_check\":\"{:?}\",\"generic_arith\":{},\
+         \"trap_penalty\":{},\"mul_cycles\":{},\"div_cycles\":{},\"fp_cycles\":{}}},\
+         \"preshifted_pair_tag\":{},\"int_test_method\":\"{:?}\"}}",
+        json_str(c.scheme.name()),
+        c.checking,
+        hw.drop_high_address_bits,
+        hw.tag_branch,
+        hw.parallel_check,
+        hw.generic_arith,
+        hw.trap_penalty,
+        hw.mul_cycles,
+        hw.div_cycles,
+        hw.fp_cycles,
+        c.preshifted_pair_tag,
+        c.int_test_method,
+    )
+}
+
+fn stats_to_json(s: &Stats) -> String {
+    // Map-shaped fields are sorted by their report-order name so the encoding
+    // is deterministic regardless of HashMap iteration order.
+    let mut classes: Vec<(&str, u64)> = s
+        .class_counts
+        .iter()
+        .map(|(k, v)| (k.name(), *v))
+        .collect();
+    classes.sort_unstable();
+    let mut tags: Vec<(String, String, u64)> = s
+        .tag_cycles
+        .iter()
+        .map(|((op, prov), v)| (format!("{op:?}"), format!("{prov:?}"), *v))
+        .collect();
+    tags.sort();
+    let mut cats: Vec<(String, u64)> = s
+        .check_cat_cycles
+        .iter()
+        .map(|(k, v)| (format!("{k:?}"), *v))
+        .collect();
+    cats.sort();
+
+    let classes = classes
+        .iter()
+        .map(|(k, v)| format!("[{},{v}]", json_str(k)))
+        .collect::<Vec<_>>()
+        .join(",");
+    let tags = tags
+        .iter()
+        .map(|(op, prov, v)| format!("[{},{},{v}]", json_str(op), json_str(prov)))
+        .collect::<Vec<_>>()
+        .join(",");
+    let cats = cats
+        .iter()
+        .map(|(k, v)| format!("[{},{v}]", json_str(k)))
+        .collect::<Vec<_>>()
+        .join(",");
+    format!(
+        "{{\"cycles\":{},\"committed\":{},\"squashed\":{},\"trap_cycles\":{},\"traps\":{},\
+         \"class_counts\":[{classes}],\"tag_cycles\":[{tags}],\"check_cat_cycles\":[{cats}]}}",
+        s.cycles, s.committed, s.squashed, s.trap_cycles, s.traps,
+    )
+}
+
+/// The deterministic JSON encoding of a measurement *without* host timing —
+/// everything in it is a simulator-determined value, so two runs of the same
+/// `(program, Config)` point encode byte-identically. This is the payload the
+/// daemon serves.
+pub fn measurement_to_json(m: &Measurement) -> String {
+    format!(
+        "{{\"program\":{},\"config\":{},\"stats\":{},\"compile\":{{\"procedures\":{},\
+         \"source_lines\":{},\"object_words\":{}}}}}",
+        json_str(&m.program),
+        config_to_json(&m.config),
+        stats_to_json(&m.stats),
+        m.compile.procedures,
+        m.compile.source_lines,
+        m.compile.object_words,
+    )
+}
+
+/// The record payload: the measurement plus the host-side wall time the
+/// original computation cost (kept so a warm-started session can still report
+/// a meaningful compile/simulate split).
+pub fn payload_to_json(m: &Measurement, t: &Timing) -> String {
+    format!(
+        "{{\"measurement\":{},\"timing\":{{\"compile_ns\":{},\"simulate_ns\":{}}}}}",
+        measurement_to_json(m),
+        t.compile.as_nanos(),
+        t.simulate.as_nanos(),
+    )
+}
+
+/// A full on-disk record: versioned envelope, key, payload checksum, payload.
+pub fn record_to_json(key: &StoreKey, m: &Measurement, t: &Timing) -> String {
+    let payload = payload_to_json(m, t);
+    format!(
+        "{{\"format_version\":{FORMAT_VERSION},\"key\":{},\"checksum\":\"{:016x}\",\
+         \"payload\":{payload}}}\n",
+        json_str(key.as_str()),
+        fnv1a64(payload.as_bytes()),
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Decoding
+// ---------------------------------------------------------------------------
+
+fn get<'a>(obj: &'a [(String, Json)], key: &str) -> Result<&'a Json, String> {
+    obj.iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v)
+        .ok_or_else(|| format!("missing key {key:?}"))
+}
+
+fn get_u64(obj: &[(String, Json)], key: &str) -> Result<u64, String> {
+    get(obj, key)?.as_u64(key)
+}
+
+fn get_str<'a>(obj: &'a [(String, Json)], key: &str) -> Result<&'a str, String> {
+    get(obj, key)?.as_str(key)
+}
+
+fn get_bool(obj: &[(String, Json)], key: &str) -> Result<bool, String> {
+    match get(obj, key)? {
+        Json::Bool(b) => Ok(*b),
+        other => Err(format!("{key}: expected bool, got {other:?}")),
+    }
+}
+
+fn parse_variant<T: Copy>(
+    what: &str,
+    name: &str,
+    all: &[T],
+    variant_name: impl Fn(&T) -> String,
+) -> Result<T, String> {
+    all.iter()
+        .find(|v| variant_name(v) == name)
+        .copied()
+        .ok_or_else(|| format!("{what}: unknown variant {name:?}"))
+}
+
+fn config_from_json(v: &Json) -> Result<Config, String> {
+    let obj = v.as_object("config")?;
+    let scheme = parse_variant("scheme", get_str(obj, "scheme")?, &tagword::ALL_SCHEMES, |s| {
+        s.name().to_string()
+    })?;
+    let checking = parse_variant(
+        "checking",
+        get_str(obj, "checking")?,
+        &[CheckingMode::None, CheckingMode::Full],
+        |c| format!("{c:?}"),
+    )?;
+    let hw_obj = get(obj, "hw")?.as_object("hw")?;
+    let parallel_check = parse_variant(
+        "parallel_check",
+        get_str(hw_obj, "parallel_check")?,
+        &[ParallelCheck::None, ParallelCheck::Lists, ParallelCheck::All],
+        |p| format!("{p:?}"),
+    )?;
+    let as_u32 = |key: &str| -> Result<u32, String> {
+        u32::try_from(get_u64(hw_obj, key)?).map_err(|_| format!("{key}: out of range"))
+    };
+    let hw = HwConfig {
+        drop_high_address_bits: as_u32("drop_high_address_bits")?,
+        tag_branch: get_bool(hw_obj, "tag_branch")?,
+        parallel_check,
+        generic_arith: get_bool(hw_obj, "generic_arith")?,
+        trap_penalty: as_u32("trap_penalty")?,
+        mul_cycles: as_u32("mul_cycles")?,
+        div_cycles: as_u32("div_cycles")?,
+        fp_cycles: as_u32("fp_cycles")?,
+    };
+    let int_test_method = parse_variant(
+        "int_test_method",
+        get_str(obj, "int_test_method")?,
+        &[lisp::IntTestMethod::SignExtend, lisp::IntTestMethod::TagCompare],
+        |m| format!("{m:?}"),
+    )?;
+    Ok(Config {
+        scheme,
+        checking,
+        hw,
+        preshifted_pair_tag: get_bool(obj, "preshifted_pair_tag")?,
+        int_test_method,
+    })
+}
+
+fn stats_from_json(v: &Json) -> Result<Stats, String> {
+    let obj = v.as_object("stats")?;
+    let mut stats = Stats {
+        cycles: get_u64(obj, "cycles")?,
+        committed: get_u64(obj, "committed")?,
+        squashed: get_u64(obj, "squashed")?,
+        trap_cycles: get_u64(obj, "trap_cycles")?,
+        traps: get_u64(obj, "traps")?,
+        ..Stats::default()
+    };
+    for entry in get(obj, "class_counts")?.as_array("class_counts")? {
+        let pair = entry.as_array("class count entry")?;
+        let [name, count] = pair else {
+            return Err(format!("class count entry: want [name, count], got {pair:?}"));
+        };
+        let class: InsnClass = parse_variant(
+            "insn class",
+            name.as_str("class name")?,
+            &ALL_CLASSES,
+            |c| c.name().to_string(),
+        )?;
+        stats.class_counts.insert(class, count.as_u64("class count")?);
+    }
+    for entry in get(obj, "tag_cycles")?.as_array("tag_cycles")? {
+        let triple = entry.as_array("tag cycle entry")?;
+        let [op, prov, cycles] = triple else {
+            return Err(format!("tag cycle entry: want [op, prov, cycles], got {triple:?}"));
+        };
+        let op: TagOpKind =
+            parse_variant("tag op", op.as_str("tag op")?, &ALL_TAG_OPS, |o| format!("{o:?}"))?;
+        let prov: Provenance = parse_variant(
+            "provenance",
+            prov.as_str("provenance")?,
+            &[Provenance::Base, Provenance::Checking],
+            |p| format!("{p:?}"),
+        )?;
+        stats.tag_cycles.insert((op, prov), cycles.as_u64("tag cycles")?);
+    }
+    for entry in get(obj, "check_cat_cycles")?.as_array("check_cat_cycles")? {
+        let pair = entry.as_array("check cat entry")?;
+        let [name, cycles] = pair else {
+            return Err(format!("check cat entry: want [cat, cycles], got {pair:?}"));
+        };
+        let cat: CheckCat = parse_variant(
+            "check cat",
+            name.as_str("check cat")?,
+            &ALL_CHECK_CATS,
+            |c| format!("{c:?}"),
+        )?;
+        stats.check_cat_cycles.insert(cat, cycles.as_u64("check cat cycles")?);
+    }
+    Ok(stats)
+}
+
+/// Decode a measurement from the [`measurement_to_json`] encoding.
+///
+/// # Errors
+///
+/// A description of the first syntactic or schema violation.
+pub fn measurement_from_json(v: &Json) -> Result<Measurement, String> {
+    let obj = v.as_object("measurement")?;
+    let compile_obj = get(obj, "compile")?.as_object("compile")?;
+    let as_usize = |key: &str| -> Result<usize, String> {
+        usize::try_from(get_u64(compile_obj, key)?).map_err(|_| format!("{key}: out of range"))
+    };
+    Ok(Measurement {
+        program: get_str(obj, "program")?.to_string(),
+        config: config_from_json(get(obj, "config")?)?,
+        stats: stats_from_json(get(obj, "stats")?)?,
+        compile: lisp::CompileStats {
+            procedures: as_usize("procedures")?,
+            source_lines: as_usize("source_lines")?,
+            object_words: as_usize("object_words")?,
+        },
+    })
+}
+
+fn timing_from_json(v: &Json) -> Result<Timing, String> {
+    let obj = v.as_object("timing")?;
+    Ok(Timing {
+        compile: Duration::from_nanos(get_u64(obj, "compile_ns")?),
+        simulate: Duration::from_nanos(get_u64(obj, "simulate_ns")?),
+    })
+}
+
+/// Decode and *validate* one on-disk record: the envelope must parse, carry
+/// the current [`FORMAT_VERSION`], and the checksum must match the payload as
+/// written (the payload is re-encoded canonically and must reproduce the
+/// checksummed bytes, so any tampering — even semantically neutral
+/// reformatting — is rejected).
+///
+/// # Errors
+///
+/// A description of why the record cannot be trusted; callers quarantine on
+/// any error.
+pub fn record_from_json(text: &str) -> Result<(StoreKey, Measurement, Timing), String> {
+    let root = Json::parse(text)?;
+    let obj = root.as_object("record")?;
+    let version = get_u64(obj, "format_version")?;
+    if version != FORMAT_VERSION {
+        return Err(format!(
+            "stale format version {version} (current is {FORMAT_VERSION})"
+        ));
+    }
+    let key = StoreKey::from_hex(get_str(obj, "key")?)?;
+    let stored_checksum = get_str(obj, "checksum")?;
+    let payload = get(obj, "payload")?.as_object("payload")?;
+    let measurement = measurement_from_json(get(payload, "measurement")?)?;
+    let timing = timing_from_json(get(payload, "timing")?)?;
+    // Checksum over the canonical re-encoding: exact because the codec is.
+    let canonical = payload_to_json(&measurement, &timing);
+    let computed = format!("{:016x}", fnv1a64(canonical.as_bytes()));
+    if computed != stored_checksum {
+        return Err(format!(
+            "checksum mismatch: stored {stored_checksum}, computed {computed}"
+        ));
+    }
+    Ok((key, measurement, timing))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mipsx::Annot;
+
+    fn sample_measurement() -> Measurement {
+        let mut stats = Stats::default();
+        stats.record(InsnClass::Alu, Annot::NONE, 1);
+        stats.record(
+            InsnClass::And,
+            Annot::checking(TagOpKind::Check, CheckCat::List),
+            2,
+        );
+        stats.record_squashed(Annot::checking(TagOpKind::Check, CheckCat::Vector));
+        stats.record_trap(Annot::base(TagOpKind::Generic), 20);
+        Measurement {
+            program: "frl".to_string(),
+            config: Config::baseline(CheckingMode::Full),
+            stats,
+            compile: lisp::CompileStats {
+                procedures: 42,
+                source_lines: 314,
+                object_words: 2718,
+            },
+        }
+    }
+
+    #[test]
+    fn record_round_trips_exactly() {
+        let m = sample_measurement();
+        let t = Timing {
+            compile: Duration::from_nanos(123_456_789),
+            simulate: Duration::from_micros(987_654),
+        };
+        let key = StoreKey::compute("(source)", &m.config);
+        let text = record_to_json(&key, &m, &t);
+        let (k2, m2, t2) = record_from_json(&text).expect("decodes");
+        assert_eq!(k2, key);
+        assert_eq!(t2, t);
+        assert_eq!(m2.program, m.program);
+        assert_eq!(m2.config, m.config);
+        assert_eq!(m2.stats, m.stats);
+        assert_eq!(m2.compile.procedures, m.compile.procedures);
+        // And re-encoding is byte-identical (canonical form).
+        assert_eq!(record_to_json(&key, &m2, &t2), text);
+    }
+
+    #[test]
+    fn measurement_json_is_deterministic() {
+        let m = sample_measurement();
+        assert_eq!(measurement_to_json(&m), measurement_to_json(&m.clone()));
+    }
+
+    #[test]
+    fn stale_version_and_bad_checksum_are_rejected() {
+        let m = sample_measurement();
+        let t = Timing::default();
+        let key = StoreKey::compute("(source)", &m.config);
+        let good = record_to_json(&key, &m, &t);
+
+        let stale = good.replacen(
+            &format!("\"format_version\":{FORMAT_VERSION}"),
+            &format!("\"format_version\":{}", FORMAT_VERSION + 1),
+            1,
+        );
+        assert!(record_from_json(&stale).unwrap_err().contains("stale format version"));
+
+        let flipped = good.replacen("\"cycles\":", "\"cycles\":1", 1);
+        assert!(record_from_json(&flipped).unwrap_err().contains("checksum mismatch"));
+
+        assert!(record_from_json(&good[..good.len() / 2]).is_err());
+    }
+}

@@ -48,11 +48,14 @@
 //! # Ok::<(), tagstudy::StudyError>(())
 //! ```
 //!
-//! The pre-0.2 free functions ([`run_all`], [`tables::table1`], …) survive as
-//! deprecated shims that each spin up a private session.
-//!
 //! Paper reference values are embedded in [`paper`] so reports can print
 //! side-by-side comparisons.
+//!
+//! For long-lived processes, [`Session::with_writeback`] and [`Session::seed`]
+//! are the persistence hooks the `store` crate's durable result store (and the
+//! `tagstudyd` daemon built on it) plug into: every fresh measurement is
+//! written through, and a restarted process preloads the cache so repeat
+//! queries are answered without simulating.
 
 #![deny(missing_docs)]
 
@@ -66,8 +69,6 @@ pub mod tables;
 
 pub use config::Config;
 pub use lisp::CheckingMode;
-#[allow(deprecated)]
-pub use measure::run_all;
 pub use measure::{run_benchmark, run_program, Measurement, StudyError, Timing};
 pub use metrics::{Event, Histogram, Json, MetricsRegistry};
 pub use session::{Progress, Session, SessionStats};

@@ -181,21 +181,6 @@ pub fn run_program(name: &str, config: &Config) -> Result<Measurement, StudyErro
     run_benchmark(b, config)
 }
 
-/// Run every benchmark under `config`, in table order, in parallel.
-///
-/// # Errors
-///
-/// All [`StudyError`]s encountered, collapsed via [`StudyError::Multiple`].
-#[deprecated(
-    since = "0.2.0",
-    note = "use `Session::measure_set` — it memoizes per (program, Config), bounds \
-            the worker pool, and reports cache/timing statistics"
-)]
-pub fn run_all(config: &Config) -> Result<Vec<Measurement>, StudyError> {
-    let names: Vec<&str> = programs::all().iter().map(|b| b.name).collect();
-    crate::Session::new().measure_set(&names, *config)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;

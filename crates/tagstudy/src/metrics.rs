@@ -44,6 +44,9 @@ pub mod names {
     pub const POOL_PEAK_OCCUPANCY: &str = "session_pool_peak_occupancy";
     /// Gauge: distinct `(program, config)` points currently cached.
     pub const CACHED_MEASUREMENTS: &str = "session_cached_measurements";
+    /// Counter: measurements preloaded into the cache from a persistent store
+    /// (see [`crate::Session::seed`]) — answered later without simulating.
+    pub const SEEDED: &str = "session_seeded_total";
 }
 
 /// A fixed-bucket histogram (Prometheus-style, non-cumulative internally).

@@ -87,6 +87,7 @@ impl SessionStats {
 }
 
 type ProgressFn = Arc<dyn Fn(&Progress) + Send + Sync>;
+type WritebackFn = Arc<dyn Fn(&Measurement, &Timing) + Send + Sync>;
 type MeasureResult = Result<(Measurement, Timing), StudyError>;
 
 /// The memoizing, parallel experiment engine. See the [module docs](self).
@@ -94,6 +95,7 @@ pub struct Session {
     cache: HashMap<(String, Config), (Measurement, Timing)>,
     parallelism: NonZeroUsize,
     progress: Option<ProgressFn>,
+    writeback: Option<WritebackFn>,
     stats: SessionStats,
     /// The structured metrics/event registry every lifecycle event flows
     /// through (see [`crate::metrics`]); `Progress` is an adapter fed from
@@ -128,6 +130,7 @@ impl Session {
             cache: HashMap::new(),
             parallelism,
             progress: None,
+            writeback: None,
             stats: SessionStats::default(),
             metrics: Mutex::new(MetricsRegistry::new()),
             inflight: AtomicUsize::new(0),
@@ -153,6 +156,18 @@ impl Session {
         self
     }
 
+    /// Install a persistence hook: `f` is called once for every *fresh*
+    /// measurement the moment it enters the cache (never for cache hits,
+    /// seeded entries, or failed measurements). A daemon wires this to a
+    /// durable result store so every computed point is written through.
+    pub fn with_writeback(
+        mut self,
+        f: impl Fn(&Measurement, &Timing) + Send + Sync + 'static,
+    ) -> Session {
+        self.writeback = Some(Arc::new(f));
+        self
+    }
+
     /// The session's counters so far.
     pub fn stats(&self) -> SessionStats {
         self.stats
@@ -166,6 +181,36 @@ impl Session {
     /// Number of distinct `(program, Config)` points measured so far.
     pub fn cached_measurements(&self) -> usize {
         self.cache.len()
+    }
+
+    /// Whether `(program, config)` is already in the cache (a request for it
+    /// would be answered without simulating).
+    pub fn contains(&self, program: &str, config: Config) -> bool {
+        self.cache.contains_key(&(program.to_string(), config))
+    }
+
+    /// Preload one measurement into the cache — the warm-start path for a
+    /// persistent result store. The entry is answered like any cache hit but
+    /// is counted separately (the `session_seeded_total` counter), so "zero
+    /// simulations since restart" is provable from the metrics alone.
+    ///
+    /// Returns `false` (and changes nothing) if the point is already cached;
+    /// the writeback hook is *not* invoked — the store already has it.
+    pub fn seed(&mut self, measurement: Measurement, timing: Timing) -> bool {
+        let key = (measurement.program.clone(), measurement.config);
+        if self.cache.contains_key(&key) {
+            return false;
+        }
+        {
+            let mut m = self.lock_metrics();
+            m.inc(names::SEEDED);
+            m.event(
+                "cache_seeded",
+                &[("program", &key.0), ("config", &key.1.to_string())],
+            );
+        }
+        self.cache.insert(key, (measurement, timing));
+        true
     }
 
     /// Iterate over every cached measurement and its timing, in no particular
@@ -230,6 +275,9 @@ impl Session {
                         self.stats.misses += 1;
                         self.stats.compile_time += timing.compile;
                         self.stats.sim_time += timing.simulate;
+                        if let Some(wb) = &self.writeback {
+                            wb(&measurement, &timing);
+                        }
                         self.cache.insert(key.clone(), (measurement, timing));
                     }
                     Err(e) => {
@@ -747,6 +795,37 @@ mod tests {
         assert_eq!((s.stats().misses, s.stats().hits), (3, 4));
         assert_eq!(s.stats().requests(), 7);
         assert_eq!(s.cached_measurements(), 3);
+    }
+
+    /// The persistence hooks: a writeback fires exactly once per fresh
+    /// measurement, a seeded entry is served as a hit without simulating, and
+    /// seeding neither double-inserts nor re-triggers the writeback.
+    #[test]
+    fn seed_and_writeback_round_trip() {
+        let cfg = Config::baseline(CheckingMode::None);
+        let written: Arc<Mutex<Vec<(Measurement, Timing)>>> = Arc::default();
+        let sink = written.clone();
+        let mut s = Session::serial()
+            .with_writeback(move |m, t| sink.lock().unwrap().push((m.clone(), *t)));
+
+        assert!(!s.contains("frl", cfg));
+        s.measure("frl", cfg).unwrap();
+        s.measure("frl", cfg).unwrap(); // hit: no second writeback
+        assert!(s.contains("frl", cfg));
+        let persisted = written.lock().unwrap().clone();
+        assert_eq!(persisted.len(), 1, "one writeback per fresh measurement");
+
+        // A second session warm-started from the persisted entry answers the
+        // same request with zero misses, and the metrics prove it.
+        let (m, t) = persisted.into_iter().next().unwrap();
+        let mut warm = Session::serial();
+        assert!(warm.seed(m.clone(), t));
+        assert!(!warm.seed(m, t), "double seed is a no-op");
+        let again = warm.measure("frl", cfg).unwrap();
+        assert_eq!(again.stats, warm.cache[&("frl".to_string(), cfg)].0.stats);
+        assert_eq!(warm.stats().misses, 0, "seeded entry served without work");
+        assert_eq!(warm.stats().hits, 1);
+        assert_eq!(warm.metrics().counter(names::SEEDED), 1);
     }
 
     #[test]

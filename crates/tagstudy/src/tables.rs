@@ -95,16 +95,6 @@ pub fn table1_for(session: &mut Session, names: &[&str]) -> Result<Table1, Study
     Ok(Table1 { rows, average })
 }
 
-/// Table 1 over the full benchmark set.
-///
-/// # Errors
-///
-/// Any measurement failure.
-#[deprecated(since = "0.2.0", note = "use `table1_for` with a shared `Session`")]
-pub fn table1() -> Result<Table1, StudyError> {
-    table1_for(&mut Session::new(), &default_programs())
-}
-
 // ===========================================================================
 // Figure 1
 // ===========================================================================
@@ -189,16 +179,6 @@ pub fn figure1_for(session: &mut Session, names: &[&str]) -> Result<Figure1, Stu
     })
 }
 
-/// Figure 1 over the full benchmark set.
-///
-/// # Errors
-///
-/// Any measurement failure.
-#[deprecated(since = "0.2.0", note = "use `figure1_for` with a shared `Session`")]
-pub fn figure1() -> Result<Figure1, StudyError> {
-    figure1_for(&mut Session::new(), &default_programs())
-}
-
 // ===========================================================================
 // Figure 2
 // ===========================================================================
@@ -251,16 +231,6 @@ pub fn figure2_for(session: &mut Session, names: &[&str]) -> Result<Figure2, Stu
         squash: squash / n,
         total: total / n,
     })
-}
-
-/// Figure 2 over the full benchmark set.
-///
-/// # Errors
-///
-/// Any measurement failure.
-#[deprecated(since = "0.2.0", note = "use `figure2_for` with a shared `Session`")]
-pub fn figure2() -> Result<Figure2, StudyError> {
-    figure2_for(&mut Session::new(), &default_programs())
 }
 
 // ===========================================================================
@@ -427,16 +397,6 @@ pub fn table2_for(session: &mut Session, names: &[&str]) -> Result<Table2, Study
     })
 }
 
-/// Table 2 over the full benchmark set.
-///
-/// # Errors
-///
-/// Any measurement failure.
-#[deprecated(since = "0.2.0", note = "use `table2_for` with a shared `Session`")]
-pub fn table2() -> Result<Table2, StudyError> {
-    table2_for(&mut Session::new(), &default_programs())
-}
-
 // ===========================================================================
 // Table 3
 // ===========================================================================
@@ -472,16 +432,6 @@ pub fn table3_for(session: &mut Session, names: &[&str]) -> Result<Vec<Table3Row
             object_words: m.compile.object_words,
         })
         .collect())
-}
-
-/// Table 3 over the full benchmark set.
-///
-/// # Errors
-///
-/// Any measurement failure.
-#[deprecated(since = "0.2.0", note = "use `table3_for` with a shared `Session`")]
-pub fn table3() -> Result<Vec<Table3Row>, StudyError> {
-    table3_for(&mut Session::new(), &default_programs())
 }
 
 // ===========================================================================
