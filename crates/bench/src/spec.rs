@@ -20,17 +20,51 @@ pub const DEFAULT_HW: &str = "plain";
 /// The accepted hardware level names, for usage strings.
 pub const HW_LEVELS: &[&str] = &["plain", "tagbr", "genarith", "maximal", "spur"];
 
-/// One validated experiment point: a known benchmark and a full [`Config`].
+/// One validated experiment point: a program and a full [`Config`].
+///
+/// The program is usually one of the ten built-in benchmarks (validated
+/// against [`programs::names`]); an *inline* spec instead carries its own
+/// Lisp source and a content-derived `inline:<hash>` name (see
+/// [`ExperimentSpec::inline`]).
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct ExperimentSpec {
-    /// Benchmark name (validated against [`programs::names`]).
+    /// Program name: a built-in benchmark, or `inline:<hash>` for an inline
+    /// source.
     pub program: String,
     /// The configuration to measure it under.
     pub config: Config,
+    /// The Lisp source for an inline spec; `None` for built-in benchmarks.
+    pub source: Option<String>,
+    /// Per-semispace heap override for an inline spec.
+    pub heap_semi_bytes: Option<u32>,
+}
+
+/// The content-derived name of an inline source: `inline:` plus the 64-bit
+/// FNV-1a hash of the source text. Two specs with the same source share a
+/// name (and therefore a cache entry per [`Config`]); the `inline:`
+/// namespace cannot collide with benchmark names, which never contain `:`.
+pub fn inline_name(source: &str) -> String {
+    format!("inline:{:016x}", store::fnv1a64(source.as_bytes()))
 }
 
 impl ExperimentSpec {
+    /// An inline experiment: measure caller-supplied Lisp source under
+    /// `config`. The program name is derived from the source content via
+    /// [`inline_name`].
+    pub fn inline(source: impl Into<String>, config: Config, heap_semi_bytes: Option<u32>) -> ExperimentSpec {
+        let source = source.into();
+        ExperimentSpec {
+            program: inline_name(&source),
+            config,
+            source: Some(source),
+            heap_semi_bytes,
+        }
+    }
+
     /// Render back to the canonical `program:scheme:checking:hw` form.
+    /// (Inline specs render with their `inline:<hash>` name; the result
+    /// identifies the point but is not re-parseable as a string spec, since
+    /// inline sources only travel as objects.)
     pub fn to_spec_string(&self) -> String {
         format!(
             "{}:{}:{}:{}",
@@ -66,7 +100,8 @@ pub fn hw_level_name(config: &Config) -> &'static str {
     }
 }
 
-/// Parse a tag-scheme name (`high5`, `high6`, `low2`, `low3`).
+/// Parse a tag-scheme name (`high5`, `high6`, `low2`, `low3`), ignoring ASCII
+/// case.
 ///
 /// # Errors
 ///
@@ -74,7 +109,7 @@ pub fn hw_level_name(config: &Config) -> &'static str {
 pub fn parse_scheme(name: &str) -> Result<tagword::TagScheme, String> {
     tagword::ALL_SCHEMES
         .iter()
-        .find(|s| s.name() == name)
+        .find(|s| s.name().eq_ignore_ascii_case(name))
         .copied()
         .ok_or_else(|| {
             let all: Vec<&str> = tagword::ALL_SCHEMES.iter().map(|s| s.name()).collect();
@@ -82,13 +117,13 @@ pub fn parse_scheme(name: &str) -> Result<tagword::TagScheme, String> {
         })
 }
 
-/// Parse a checking-mode name (`none` or `full`).
+/// Parse a checking-mode name (`none` or `full`), ignoring ASCII case.
 ///
 /// # Errors
 ///
 /// A usage-ready message naming the accepted modes.
 pub fn parse_checking(name: &str) -> Result<CheckingMode, String> {
-    match name {
+    match name.to_ascii_lowercase().as_str() {
         "none" => Ok(CheckingMode::None),
         "full" => Ok(CheckingMode::Full),
         _ => Err(format!("unknown checking mode {name:?} (want none or full)")),
@@ -96,13 +131,13 @@ pub fn parse_checking(name: &str) -> Result<CheckingMode, String> {
 }
 
 /// Parse a hardware level name for `scheme` (the tag-dependent levels need the
-/// scheme's tag width).
+/// scheme's tag width), ignoring ASCII case.
 ///
 /// # Errors
 ///
 /// A usage-ready message naming the accepted levels.
 pub fn parse_hw(name: &str, scheme: tagword::TagScheme) -> Result<mipsx::HwConfig, String> {
-    match name {
+    match name.to_ascii_lowercase().as_str() {
         "plain" => Ok(mipsx::HwConfig::plain()),
         "tagbr" => Ok(mipsx::HwConfig::with_tag_branch()),
         "genarith" => Ok(mipsx::HwConfig::with_generic_arith()),
@@ -115,33 +150,54 @@ pub fn parse_hw(name: &str, scheme: tagword::TagScheme) -> Result<mipsx::HwConfi
     }
 }
 
+/// The one place every spec error is phrased: the reason, the offending spec,
+/// and the grammar reminder, in that order.
+fn spec_error(text: &str, why: impl std::fmt::Display) -> String {
+    format!("{why} in spec {text:?} (want program[:scheme[:checking[:hw]]])")
+}
+
 /// Parse one `program[:scheme[:checking[:hw]]]` spec, validating the benchmark
-/// name against the registry.
+/// name against the registry. Field values are case-insensitive and
+/// whitespace around fields is ignored; the benchmark name itself is exact.
 ///
 /// # Errors
 ///
-/// A usage-ready message for an unknown benchmark, unknown field value, or too
+/// A usage-ready message — always phrased by the same canonical path — for an
+/// empty spec or field, an unknown benchmark, an unknown field value, or too
 /// many `:`-separated fields.
 pub fn parse_spec(text: &str) -> Result<ExperimentSpec, String> {
-    let mut fields = text.split(':');
-    let program = fields.next().unwrap_or_default();
+    const FIELD_NAMES: [&str; 4] = ["benchmark", "scheme", "checking", "hw"];
+    let fields: Vec<&str> = text.split(':').map(str::trim).collect();
+    if fields.len() > FIELD_NAMES.len() {
+        return Err(spec_error(text, format!("trailing field {:?}", fields[4])));
+    }
+    if fields[0].is_empty() && fields.len() == 1 {
+        return Err(spec_error(text, "empty spec"));
+    }
+    if let Some(i) = fields.iter().position(|f| f.is_empty()) {
+        return Err(spec_error(text, format!("empty {} field", FIELD_NAMES[i])));
+    }
+    let program = fields[0];
     if programs::by_name(program).is_none() {
-        return Err(format!(
-            "unknown benchmark {program:?} (want one of: {})",
-            programs::names().join(", ")
+        return Err(spec_error(
+            text,
+            format!(
+                "unknown benchmark {program:?} (want one of: {})",
+                programs::names().join(", ")
+            ),
         ));
     }
-    let scheme = parse_scheme(fields.next().unwrap_or(DEFAULT_SCHEME))?;
-    let checking = parse_checking(fields.next().unwrap_or(DEFAULT_CHECKING))?;
-    let hw = parse_hw(fields.next().unwrap_or(DEFAULT_HW), scheme)?;
-    if let Some(extra) = fields.next() {
-        return Err(format!(
-            "trailing field {extra:?} in spec {text:?} (want program[:scheme[:checking[:hw]]])"
-        ));
-    }
+    let scheme =
+        parse_scheme(fields.get(1).copied().unwrap_or(DEFAULT_SCHEME)).map_err(|e| spec_error(text, e))?;
+    let checking = parse_checking(fields.get(2).copied().unwrap_or(DEFAULT_CHECKING))
+        .map_err(|e| spec_error(text, e))?;
+    let hw = parse_hw(fields.get(3).copied().unwrap_or(DEFAULT_HW), scheme)
+        .map_err(|e| spec_error(text, e))?;
     Ok(ExperimentSpec {
         program: program.to_string(),
         config: Config::new(scheme, checking).with_hw(hw),
+        source: None,
+        heap_semi_bytes: None,
     })
 }
 
@@ -191,5 +247,67 @@ mod tests {
         assert!(parse_spec("frl:high5:maybe").unwrap_err().contains("checking"));
         assert!(parse_spec("frl:high5:full:warp").unwrap_err().contains("hardware"));
         assert!(parse_spec("frl:high5:full:plain:x").unwrap_err().contains("trailing"));
+    }
+
+    /// Every malformed shape goes through the one canonical error path: the
+    /// message names the reason, quotes the spec, and restates the grammar.
+    #[test]
+    fn every_error_is_canonically_phrased() {
+        let cases: &[(&str, &str)] = &[
+            ("", "empty spec"),
+            ("   ", "empty spec"),
+            (":", "empty benchmark field"),
+            (":high5", "empty benchmark field"),
+            ("frl:", "empty scheme field"),
+            ("frl::none", "empty scheme field"),
+            ("frl:high5:", "empty checking field"),
+            ("frl:high5::plain", "empty checking field"),
+            ("frl:high5:full:", "empty hw field"),
+            ("nope", "unknown benchmark"),
+            ("frl:tag9", "unknown scheme"),
+            ("frl:high5:maybe", "unknown checking mode"),
+            ("frl:high5:full:warp", "unknown hardware level"),
+            ("frl:high5:full:plain:x", "trailing field \"x\""),
+            ("frl:high5:full:plain::", "trailing field"),
+        ];
+        for (text, reason) in cases {
+            let err = parse_spec(text).unwrap_err();
+            assert!(err.contains(reason), "{text:?}: {err}");
+            assert!(
+                err.contains(&format!("in spec {text:?}")),
+                "{text:?}: error does not quote the spec: {err}"
+            );
+            assert!(
+                err.contains("want program[:scheme[:checking[:hw]]]"),
+                "{text:?}: error does not restate the grammar: {err}"
+            );
+        }
+    }
+
+    /// Scheme, checking, and hw names are case-insensitive and tolerate
+    /// surrounding whitespace; the benchmark name stays exact.
+    #[test]
+    fn field_values_are_case_insensitive() {
+        let canonical = parse_spec("frl:low2:none:tagbr").unwrap();
+        assert_eq!(parse_spec("frl:LOW2:None:TagBr").unwrap(), canonical);
+        assert_eq!(parse_spec(" frl : Low2 : NONE : TAGBR ").unwrap(), canonical);
+        assert!(parse_spec("FRL").unwrap_err().contains("unknown benchmark"));
+    }
+
+    /// Inline specs: content-derived name, carried source, heap override, and
+    /// a rendered spec string that identifies the point.
+    #[test]
+    fn inline_specs_are_content_addressed() {
+        let cfg = Config::baseline(CheckingMode::Full);
+        let a = ExperimentSpec::inline("(print 1)", cfg, None);
+        let b = ExperimentSpec::inline("(print 1)", cfg, None);
+        let c = ExperimentSpec::inline("(print 2)", cfg, Some(64 << 10));
+        assert_eq!(a.program, b.program, "same source, same name");
+        assert_ne!(a.program, c.program, "different source, different name");
+        assert!(a.program.starts_with("inline:"), "{}", a.program);
+        assert_eq!(a.source.as_deref(), Some("(print 1)"));
+        assert_eq!(c.heap_semi_bytes, Some(64 << 10));
+        assert_eq!(a.to_spec_string(), format!("{}:high5:full:plain", a.program));
+        assert_eq!(a.program, inline_name("(print 1)"));
     }
 }

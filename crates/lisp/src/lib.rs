@@ -35,10 +35,11 @@
 
 #![deny(missing_docs)]
 
-mod ast;
+pub mod ast;
 mod codegen;
 mod compile;
 mod error;
+pub mod eval;
 mod front;
 mod layout;
 mod prelude;
@@ -50,7 +51,7 @@ pub use compile::{
     compile, run, run_observed, run_with_hw, CompileStats, CompiledProgram, Options,
 };
 pub use error::CompileError;
-pub use front::CheckingMode;
+pub use front::{lower_sources, CheckingMode};
 pub use mipsx::{Outcome, SimError};
 pub use prelude::PRELUDE;
 pub use runtime::exit_code;

@@ -1,0 +1,112 @@
+//! Golden tests for the tree-walking reference evaluator.
+//!
+//! The evaluator ([`lisp::eval`]) is the differential oracle's source of
+//! truth, so it must reproduce every benchmark's pinned output without ever
+//! touching codegen or the simulator — and its trap behaviour must match the
+//! compiled system's `ERR_*` exit codes case by case.
+
+use lisp::eval::{eval_source, EvalOptions};
+use lisp::{exit_code, CheckingMode, Options};
+use tagword::TagScheme;
+
+/// Every benchmark, evaluated under the narrowest fixnum range in the sweep
+/// (HighTag6's 26 bits), reproduces its pinned output exactly. Passing under
+/// the narrowest range proves no benchmark result is scheme-dependent.
+#[test]
+fn all_ten_benchmarks_match_their_pinned_output() {
+    for b in programs::all() {
+        let outcome = eval_source(b.source, &EvalOptions::for_scheme(TagScheme::HighTag6))
+            .unwrap_or_else(|e| panic!("{}: evaluator failed: {e}", b.name));
+        assert_eq!(
+            outcome.halt_code,
+            exit_code::OK,
+            "{}: evaluator trapped",
+            b.name
+        );
+        assert_eq!(
+            outcome.output, b.expected_output,
+            "{}: evaluator output differs from pinned output",
+            b.name
+        );
+        // A benchmark that exercised no primitive at all would make the
+        // census vacuous; all ten do real work.
+        assert!(outcome.census.prim_ops > 0, "{}: empty census", b.name);
+    }
+}
+
+/// Error paths: for each trapping program, the evaluator's halt code must
+/// equal the compiled-and-simulated halt code, not merely "some error".
+#[test]
+fn evaluator_traps_match_compiled_traps() {
+    let cases: &[(&str, &str, i32)] = &[
+        ("car of a fixnum", "(print (car 5))", exit_code::ERR_CAR),
+        ("cdr of a fixnum", "(print (cdr 5))", exit_code::ERR_CAR),
+        (
+            "rplaca of a non-pair",
+            "(rplaca 3 4)",
+            exit_code::ERR_CAR,
+        ),
+        (
+            "getv of a non-vector",
+            "(print (getv 9 0))",
+            exit_code::ERR_VEC,
+        ),
+        (
+            "vector index out of bounds",
+            "(print (getv (mkvect 2) 7))",
+            exit_code::ERR_BOUNDS,
+        ),
+        (
+            "negative vector index",
+            "(print (getv (mkvect 2) (minus 1)))",
+            exit_code::ERR_BOUNDS,
+        ),
+        (
+            "arith on a symbol",
+            "(print (plus (quote a) 1))",
+            exit_code::ERR_ARITH,
+        ),
+        ("division by zero", "(print (quotient 1 0))", exit_code::ERR_DIV0),
+        (
+            "remainder by zero",
+            "(print (remainder 1 0))",
+            exit_code::ERR_DIV0,
+        ),
+        (
+            "funcall of an undefined symbol",
+            "(funcall (quote no-such-fn) 1)",
+            exit_code::ERR_FUNCALL,
+        ),
+    ];
+    let eval_opts = EvalOptions::for_scheme(TagScheme::HighTag5);
+    let compile_opts = Options::new(TagScheme::HighTag5, CheckingMode::Full);
+    for (label, source, want) in cases {
+        let eval = eval_source(source, &eval_opts)
+            .unwrap_or_else(|e| panic!("{label}: evaluator failed: {e}"));
+        assert_eq!(eval.halt_code, *want, "{label}: evaluator halt code");
+
+        let compiled = lisp::compile(source, &compile_opts)
+            .unwrap_or_else(|e| panic!("{label}: compile failed: {e}"));
+        let sim = lisp::run(&compiled, 10_000_000)
+            .unwrap_or_else(|e| panic!("{label}: simulation failed: {e}"));
+        assert_eq!(
+            sim.halt_code, eval.halt_code,
+            "{label}: simulator and evaluator disagree on the trap"
+        );
+        // Output printed before the trap must agree too.
+        assert_eq!(sim.output, eval.output, "{label}: pre-trap output");
+    }
+}
+
+/// Overflow is range-dependent: the same add overflows 26-bit fixnums but
+/// not 30-bit ones, and the evaluator tracks the configured width.
+#[test]
+fn overflow_tracks_the_configured_fixnum_width() {
+    let max26 = (1i64 << 25) - 1;
+    let source = format!("(print (plus {max26} 1))");
+    let narrow = eval_source(&source, &EvalOptions::for_scheme(TagScheme::HighTag6)).unwrap();
+    assert_eq!(narrow.halt_code, exit_code::ERR_OVERFLOW);
+    let wide = eval_source(&source, &EvalOptions::for_scheme(TagScheme::LowTag2)).unwrap();
+    assert_eq!(wide.halt_code, exit_code::OK);
+    assert_eq!(wide.output, format!("{}\n", max26 + 1));
+}

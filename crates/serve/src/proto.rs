@@ -2,9 +2,12 @@
 //! documents out.
 //!
 //! A batch body is `{"experiments": [ <spec>, ... ]}` where each spec is
-//! either a string in the [`bench::spec`] grammar (`"frl:low2:none:tagbr"`) or
+//! either a string in the [`bench::spec`] grammar (`"frl:low2:none:tagbr"`),
 //! an object `{"program": "frl", "scheme": "low2", "checking": "none",
-//! "hw": "tagbr"}` with every field but `program` optional.
+//! "hw": "tagbr"}` with every field but `program` optional, or an *inline*
+//! object `{"source": "(print 1)", "heap": 65536, ...}` carrying its own Lisp
+//! source — measured under the content-derived `inline:<hash>` name, so equal
+//! sources share a cache entry per configuration.
 //!
 //! The response is `{"results": [ ... ]}` with one entry per request, in
 //! request order; each entry carries the canonical spec string, the content
@@ -29,21 +32,53 @@ fn get<'a>(obj: &'a [(String, Json)], key: &str) -> Option<&'a Json> {
 
 fn spec_from_object(obj: &[(String, Json)]) -> Result<ExperimentSpec, String> {
     for (key, _) in obj {
-        if !matches!(key.as_str(), "program" | "scheme" | "checking" | "hw") {
+        if !matches!(
+            key.as_str(),
+            "program" | "source" | "heap" | "scheme" | "checking" | "hw"
+        ) {
             return Err(format!(
-                "unknown experiment field {key:?} (want program, scheme, checking, hw)"
+                "unknown experiment field {key:?} (want program or source, \
+                 plus scheme, checking, hw, heap)"
             ));
         }
     }
-    let program = get(obj, "program")
-        .ok_or("experiment object is missing \"program\"")?
-        .as_str("program")?;
     let field = |name: &str, default: &str| -> Result<String, String> {
         match get(obj, name) {
             Some(v) => Ok(v.as_str(name)?.to_string()),
             None => Ok(default.to_string()),
         }
     };
+    // An inline spec carries its own Lisp source (and optionally a heap
+    // override); a named spec references a built-in benchmark. Exactly one.
+    if let Some(source) = get(obj, "source") {
+        if get(obj, "program").is_some() {
+            return Err("experiment object has both \"program\" and \"source\"".to_string());
+        }
+        let source = source.as_str("source")?;
+        if source.trim().is_empty() {
+            return Err("inline \"source\" is empty".to_string());
+        }
+        let heap = match get(obj, "heap") {
+            Some(v) => {
+                let bytes = v.as_u64("heap")?;
+                let bytes = u32::try_from(bytes)
+                    .map_err(|_| format!("heap of {bytes} bytes exceeds the 32-bit limit"))?;
+                Some(bytes)
+            }
+            None => None,
+        };
+        let scheme = spec::parse_scheme(&field("scheme", spec::DEFAULT_SCHEME)?)?;
+        let checking = spec::parse_checking(&field("checking", spec::DEFAULT_CHECKING)?)?;
+        let hw = spec::parse_hw(&field("hw", spec::DEFAULT_HW)?, scheme)?;
+        let config = tagstudy::Config::new(scheme, checking).with_hw(hw);
+        return Ok(ExperimentSpec::inline(source, config, heap));
+    }
+    if get(obj, "heap").is_some() {
+        return Err("\"heap\" only applies to inline sources (use \"source\")".to_string());
+    }
+    let program = get(obj, "program")
+        .ok_or("experiment object is missing \"program\" (or inline \"source\")")?
+        .as_str("program")?;
     let text = format!(
         "{program}:{}:{}:{}",
         field("scheme", spec::DEFAULT_SCHEME)?,
@@ -152,6 +187,55 @@ mod tests {
         assert_eq!(specs[0].to_spec_string(), "frl:high5:full:plain");
         assert_eq!(specs[1].to_spec_string(), "trav:low2:none:tagbr");
         assert_eq!(specs[2].config, tagstudy::Config::baseline(CheckingMode::Full));
+    }
+
+    #[test]
+    fn batch_accepts_inline_sources() {
+        let body = br#"{"experiments": [
+            {"source": "(print 1)", "scheme": "low2", "checking": "none", "hw": "tagbr", "heap": 65536},
+            {"source": "(print 1)"},
+            {"program": "frl"}
+        ]}"#;
+        let specs = parse_batch(body).unwrap();
+        assert_eq!(specs.len(), 3);
+        assert!(specs[0].program.starts_with("inline:"), "{}", specs[0].program);
+        assert_eq!(
+            specs[0].program, specs[1].program,
+            "same source, same content-derived name"
+        );
+        assert_eq!(specs[0].source.as_deref(), Some("(print 1)"));
+        assert_eq!(specs[0].heap_semi_bytes, Some(65536));
+        assert_eq!(specs[0].to_spec_string(), format!("{}:low2:none:tagbr", specs[0].program));
+        assert_eq!(specs[1].config, tagstudy::Config::baseline(CheckingMode::Full));
+        assert_eq!(specs[1].heap_semi_bytes, None);
+        assert_eq!(specs[2].source, None);
+    }
+
+    #[test]
+    fn inline_spec_errors_are_described() {
+        let cases: &[(&str, &str)] = &[
+            (
+                r#"{"experiments": [{"source": "(print 1)", "program": "frl"}]}"#,
+                "both \"program\" and \"source\"",
+            ),
+            (r#"{"experiments": [{"source": "   "}]}"#, "empty"),
+            (
+                r#"{"experiments": [{"program": "frl", "heap": 4096}]}"#,
+                "only applies to inline sources",
+            ),
+            (
+                r#"{"experiments": [{"source": "(print 1)", "scheme": "tag9"}]}"#,
+                "unknown scheme",
+            ),
+            (
+                r#"{"experiments": [{"source": "(print 1)", "heap": 5000000000}]}"#,
+                "32-bit limit",
+            ),
+        ];
+        for (body, want) in cases {
+            let err = parse_batch(body.as_bytes()).unwrap_err();
+            assert!(err.contains(want), "{body}: {err}");
+        }
     }
 
     #[test]

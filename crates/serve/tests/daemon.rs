@@ -196,6 +196,55 @@ fn corrupted_record_is_quarantined_and_recomputed() {
     shutdown(&addr, server);
 }
 
+/// Inline sources measure like named benchmarks — deterministic bytes, cache
+/// hits on repeat — but are never persisted to the on-disk store (the store is
+/// keyed by the benchmark registry, which can't name them).
+#[test]
+fn inline_sources_measure_but_are_not_persisted() {
+    let scratch = Scratch::new("inline");
+    let (server, _, addr) = start(Some(&scratch.0), ServerConfig::default());
+    let batch = r#"{"experiments": [
+        {"source": "(print (plus 1 2))", "checking": "none"},
+        {"source": "(print (plus 1 2))", "checking": "full"},
+        "trav:high5:none:plain"
+    ]}"#;
+
+    let (status, first) = post(&addr, "/v1/experiments", batch);
+    assert_eq!(status, 200, "{first}");
+    let results = proto::parse_results(&first).unwrap();
+    assert_eq!(results.len(), 3);
+    assert!(results[0].0.starts_with("inline:"), "{}", results[0].0);
+    assert!(results[1].0.starts_with("inline:"), "{}", results[1].0);
+    // Same source, different configs: same content-derived name, distinct
+    // store keys, and the checked run costs cycles the unchecked one doesn't.
+    assert_eq!(
+        results[0].0.split(':').nth(1),
+        results[1].0.split(':').nth(1)
+    );
+    assert_ne!(results[0].1, results[1].1);
+    assert!(results[1].2.stats.cycles > results[0].2.stats.cycles);
+
+    // A repeat batch is served from cache, byte-identical.
+    let (status, second) = post(&addr, "/v1/experiments", batch);
+    assert_eq!(status, 200);
+    assert_eq!(second, first, "repeat batch is byte-identical");
+    let (_, metrics) = get(&addr, "/metrics");
+    assert_eq!(metric(&metrics, "session_cache_misses_total"), 3);
+    assert_eq!(metric(&metrics, "session_cache_hits_total"), 3);
+
+    // Only the named benchmark reached the store: its key resolves, the
+    // inline keys do not, and exactly one record exists on disk.
+    assert_eq!(metric(&metrics, "store_puts_total"), 1);
+    let (status, _) = get(&addr, &format!("/v1/results/{}", results[2].1));
+    assert_eq!(status, 200);
+    for inline in &results[..2] {
+        let (status, body) = get(&addr, &format!("/v1/results/{}", inline.1));
+        assert_eq!(status, 404, "inline result persisted: {body}");
+    }
+
+    shutdown(&addr, server);
+}
+
 /// `POST /v1/shutdown` stops accepting but drains in-flight work: a batch
 /// already being measured still completes and gets its full response.
 #[test]

@@ -1,0 +1,1112 @@
+//! The seeded program generator.
+//!
+//! A generated program is held as a small IR ([`Program`]) and *rendered* to
+//! Lisp source ([`render`]). All safety reasoning lives in the renderer: it
+//! tracks a magnitude bound for every sub-expression (interval arithmetic)
+//! and inserts a `remainder` reduction only where a value could otherwise
+//! overflow the smallest tag scheme's fixnum range; storage boundaries
+//! (globals, list and vector slots, call arguments, function returns) are
+//! always reduced so the bound of a *load* is known. No divisor can be zero,
+//! no vector index can leave its bounds, and no `car`/`cdr` can reach past a
+//! list's spine. Because safety is re-derived at render time, any structural
+//! edit to the IR (in particular the shrinker's) yields another well-typed,
+//! trap-free program — programs behave identically under
+//! `CheckingMode::None` and `CheckingMode::Full`, which is exactly what the
+//! differential oracle needs.
+//!
+//! Termination is structural too: loops have literal iteration counts,
+//! recursion burns an explicit fuel parameter re-seeded with a small literal
+//! at every call site, and functions may only call lower-numbered functions.
+
+use crate::profile::OpMix;
+use crate::rng::Pcg32;
+use std::fmt::Write;
+
+/// Values the renderer keeps bounded at *storage boundaries* (globals, list
+/// and vector slots, call arguments, function returns): every stored value
+/// lies strictly within `(-SMALL_MOD, SMALL_MOD)`. `4998² = 24 980 004` is
+/// below [`INT_LIMIT`], so two stored values can always be multiplied.
+pub const SMALL_MOD: i32 = 4999;
+/// Multiplication operands whose interval bound exceeds this are reduced
+/// mod 5693: `5692² = 32 398 864` is below [`INT_LIMIT`], so `times` can
+/// never overflow undetected.
+pub const MUL_MOD: i32 = 5693;
+/// Hard magnitude ceiling for any rendered intermediate: the largest fixnum
+/// of the narrowest tag scheme (`2^25 − 1` under high-tag-6). The renderer
+/// tracks an interval bound per sub-expression and inserts a `remainder`
+/// reduction only when a value could otherwise cross this line — so most
+/// arithmetic renders unwrapped, and the checking overhead of a generated
+/// program reflects its op mix rather than its safety scaffolding.
+pub const INT_LIMIT: u64 = 33_554_431;
+/// Recursion fuel literals at call sites stay at or below this depth.
+pub const MAX_FUEL: u32 = 4;
+/// Loop counters available to `drive` (`v0`..`v3`), one per nesting level.
+pub const LOOP_SLOTS: u8 = 4;
+
+/// A binary fixnum operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `plus` (rendered `add1` when one operand is the literal 1).
+    Add,
+    /// `difference` (rendered `sub1` when the right operand is the literal 1).
+    Sub,
+    /// `times`, operands reduced mod [`MUL_MOD`].
+    Mul,
+    /// `quotient`, divisor rendered `(add1 (abs d))` so it is at least 1.
+    Quo,
+    /// `remainder`, same divisor treatment.
+    Rem,
+}
+
+/// A comparison operator for conditions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `lessp`
+    Lt,
+    /// `greaterp`
+    Gt,
+    /// `leq`
+    Le,
+    /// `geq`
+    Ge,
+    /// `eqn`
+    EqN,
+}
+
+/// A boolean test used by `if` forms.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Cond {
+    /// Compare two wrapped integer expressions.
+    Cmp(CmpOp, Box<E>, Box<E>),
+    /// `(pairp (cdr^k lstN))` — probe whether a list has a tail at depth `k`.
+    HasTail(usize, usize),
+}
+
+/// An integer-valued expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum E {
+    /// A literal (generated nonnegative; negatives render via `minus`).
+    Lit(i32),
+    /// The global accumulator.
+    Acc,
+    /// A local slot: a parameter inside a function, a loop counter in `drive`.
+    Loc(u8),
+    /// `(length scratch)` — how many conses the program has pushed.
+    ScratchLen,
+    /// `(car (cdr^k lstN))`.
+    ListNth(usize, usize),
+    /// `(getv vecN wrapped-index)`.
+    VecRef(usize, Box<E>),
+    /// Negation.
+    Neg(Box<E>),
+    /// A binary operation.
+    Bin(BinOp, Box<E>, Box<E>),
+    /// A conditional expression.
+    IfE(Box<Cond>, Box<E>, Box<E>),
+    /// A known call to function `j` (renderer fixes arity and fuel).
+    Call(usize, Vec<E>),
+    /// `(funcall (quote fj) ...)` — same, through the symbol.
+    Funcall(usize, Vec<E>),
+    /// The recursive self-call inside a function's recursive arm; the
+    /// renderer passes `(sub1 fuel)` as the fuel argument.
+    SelfCall(Vec<E>),
+}
+
+/// A statement in the `drive` routine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `(setq acc wrapped-e)` — fold a value into the accumulator.
+    AccSet(E),
+    /// `(setq scratch (cons wrapped-e scratch))`.
+    ConsPush(E),
+    /// `(putv vecN wrapped-index wrapped-e)`.
+    VecSet(usize, E, E),
+    /// `(rplaca (cdr^k lstN) wrapped-e)` — overwrite a list element in place.
+    ListSet(usize, usize, E),
+    /// A two-armed conditional statement.
+    IfS(Cond, Vec<Stmt>, Vec<Stmt>),
+    /// `(setq vS 0) (while (lessp vS count) body… (setq vS (add1 vS)))` — a
+    /// counter-driven loop: its per-iteration scaffolding is checked
+    /// arithmetic (`lessp`, `add1`), the expensive-check idiom.
+    Repeat(u8, u32, Vec<Stmt>),
+    /// `(setq wS spnN) (while (pairp wS) body… (setq wS (cdr wS)))` — a
+    /// spine-driven loop walking immutable list `spnN`: its scaffolding is a
+    /// tag test and one checked `cdr`, the cheap-check idiom.
+    ForSpine(u8, usize, Vec<Stmt>),
+}
+
+/// One generated function. Functions are expression-bodied and pure; a
+/// recursive function takes a leading `fuel` parameter and dispatches
+/// `(if (greaterp fuel 0) rec body)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GenFn {
+    /// Number of data parameters (`a0`…), at least as rendered; the renderer
+    /// pads or truncates call-site arguments to match.
+    pub params: u8,
+    /// The recursive arm, containing at least one [`E::SelfCall`]. `Some`
+    /// implies the function takes a `fuel` parameter.
+    pub rec: Option<E>,
+    /// The base arm (the whole body when `rec` is `None`).
+    pub body: E,
+}
+
+/// A complete generated program: constants, functions, and a `drive` routine,
+/// plus the seed and mix that produced it (for replay and reports).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Program {
+    /// The PRNG seed this program was generated from.
+    pub seed: u64,
+    /// The op-mix profile it was generated under.
+    pub mix: OpMix,
+    /// Immutable-spine lists (`lst0`…); elements may be overwritten.
+    pub lists: Vec<Vec<i32>>,
+    /// Spine lists (`spn0`…, lengths): loop drivers for [`Stmt::ForSpine`].
+    /// Never read or written, only walked.
+    pub spines: Vec<usize>,
+    /// Vector lengths (`vec0`…); every slot is filled before `drive` runs.
+    pub vecs: Vec<usize>,
+    /// Generated functions (`f0`…); `fj` may only call `fi` with `i < j`.
+    pub fns: Vec<GenFn>,
+    /// The statements of the `drive` routine.
+    pub drive: Vec<Stmt>,
+}
+
+impl Program {
+    /// IR node count — the "form count" the shrinker minimizes. Counts
+    /// expressions, conditions, statements, functions, lists and vectors;
+    /// the fixed harness (defvars, setup, result printing) is not counted.
+    pub fn size(&self) -> usize {
+        fn ce(e: &E) -> usize {
+            1 + match e {
+                E::Lit(_) | E::Acc | E::Loc(_) | E::ScratchLen | E::ListNth(..) => 0,
+                E::VecRef(_, i) => ce(i),
+                E::Neg(a) => ce(a),
+                E::Bin(_, a, b) => ce(a) + ce(b),
+                E::IfE(c, a, b) => cc(c) + ce(a) + ce(b),
+                E::Call(_, args) | E::Funcall(_, args) | E::SelfCall(args) => {
+                    args.iter().map(ce).sum()
+                }
+            }
+        }
+        fn cc(c: &Cond) -> usize {
+            1 + match c {
+                Cond::Cmp(_, a, b) => ce(a) + ce(b),
+                Cond::HasTail(..) => 0,
+            }
+        }
+        fn cs(s: &Stmt) -> usize {
+            1 + match s {
+                Stmt::AccSet(e) | Stmt::ConsPush(e) | Stmt::ListSet(_, _, e) => ce(e),
+                Stmt::VecSet(_, i, e) => ce(i) + ce(e),
+                Stmt::IfS(c, t, f) => {
+                    cc(c) + t.iter().map(cs).sum::<usize>() + f.iter().map(cs).sum::<usize>()
+                }
+                Stmt::Repeat(_, _, body) | Stmt::ForSpine(_, _, body) => {
+                    body.iter().map(cs).sum()
+                }
+            }
+        }
+        let fns: usize = self
+            .fns
+            .iter()
+            .map(|f| 1 + ce(&f.body) + f.rec.as_ref().map_or(0, ce))
+            .sum();
+        let drive: usize = self.drive.iter().map(cs).sum();
+        fns + drive + self.lists.len() + self.vecs.len() + self.spines.len()
+    }
+
+    /// Render to Lisp source. Shorthand for [`render`].
+    pub fn source(&self) -> String {
+        render(self)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Generation
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, Copy)]
+enum Ctx {
+    /// Inside function `idx`; `in_rec` marks the recursive arm, where calls
+    /// to other functions are forbidden (keeps the dynamic call tree linear
+    /// in the fuel bound).
+    Fn { idx: usize, in_rec: bool },
+    Drive,
+}
+
+struct Gen<'a> {
+    rng: Pcg32,
+    mix: &'a OpMix,
+    n_lists: usize,
+    list_lens: Vec<usize>,
+    n_vecs: usize,
+    n_fns: usize,
+}
+
+/// Generate the program for `seed` under `mix`. Deterministic: the same
+/// `(seed, mix)` always yields the identical program and source text.
+pub fn generate(seed: u64, mix: &OpMix) -> Program {
+    let mut g = Gen {
+        rng: Pcg32::new(seed, 0x5eed),
+        mix,
+        n_lists: 0,
+        list_lens: Vec::new(),
+        n_vecs: 0,
+        n_fns: 0,
+    };
+
+    let n_lists = 1 + g.rng.below(2) as usize;
+    let lists: Vec<Vec<i32>> = (0..n_lists)
+        .map(|_| {
+            let len = 2 + g.rng.below(4) as usize;
+            (0..len).map(|_| g.rng.range_i32(0, 999)).collect()
+        })
+        .collect();
+    g.n_lists = lists.len();
+    g.list_lens = lists.iter().map(Vec::len).collect();
+
+    let n_vecs = 1 + g.rng.below(2) as usize;
+    let vecs: Vec<usize> = (0..n_vecs).map(|_| 2 + g.rng.below(5) as usize).collect();
+    g.n_vecs = vecs.len();
+
+    let n_fns = 1 + g.rng.below(3) as usize;
+    let mut fns = Vec::with_capacity(n_fns);
+    for idx in 0..n_fns {
+        g.n_fns = idx; // only lower-numbered functions are callable from here
+        let params = 1 + g.rng.below(2) as u8;
+        let recursive = g.rng.chance(0.4);
+        let body = g.expr(3, Ctx::Fn { idx, in_rec: false });
+        let rec = if recursive {
+            // Guarantee the self-call and keep the arm small.
+            let args: Vec<E> = (0..params)
+                .map(|_| g.expr(1, Ctx::Fn { idx, in_rec: true }))
+                .collect();
+            let rest = g.expr(2, Ctx::Fn { idx, in_rec: true });
+            Some(E::Bin(
+                BinOp::Add,
+                Box::new(E::SelfCall(args)),
+                Box::new(rest),
+            ))
+        } else {
+            None
+        };
+        fns.push(GenFn { params, rec, body });
+    }
+    g.n_fns = n_fns;
+
+    let spines: Vec<usize> = (0..2).map(|_| 14 + g.rng.below(27) as usize).collect();
+
+    // Drive is dominated by mandatory top-level loops, so the measured cycle
+    // count reflects the mix rather than the fixed setup/printing harness.
+    // The loop *driver* is itself mix-weighted: list-leaning mixes walk a
+    // spine (tag test + one cdr per iteration), arith-leaning mixes count
+    // (lessp + add1 per iteration) — the two idioms the paper's spread of
+    // checking overheads comes from. Loop bodies never nest another loop
+    // (`LOOP_SLOTS` as the depth), which caps cons volume and keeps the
+    // scratch list's length below SMALL_MOD.
+    let n_loops = 4 + g.rng.below(3) as usize;
+    let mut drive: Vec<Stmt> = (0..n_loops)
+        .map(|_| {
+            let n = 2 + g.rng.below(4) as usize;
+            let body: Vec<Stmt> = (0..n).map(|_| g.stmt(1, LOOP_SLOTS)).collect();
+            let spine_w = 1.5 * mix.list;
+            let counter_w = mix.arith + 0.25 * (mix.vector + mix.call) + 0.05;
+            if g.rng.weighted(&[spine_w, counter_w]) == 0 {
+                let s = g.rng.below(spines.len() as u32) as usize;
+                Stmt::ForSpine(g.rng.below(LOOP_SLOTS as u32) as u8, s, body)
+            } else {
+                let count = 8 + g.rng.below(23);
+                Stmt::Repeat(g.rng.below(LOOP_SLOTS as u32) as u8, count, body)
+            }
+        })
+        .collect();
+    let n_straight = 2 + g.rng.below(3) as usize;
+    drive.extend((0..n_straight).map(|_| g.stmt(2, 0)));
+
+    Program {
+        seed,
+        mix: *mix,
+        lists,
+        spines,
+        vecs,
+        fns,
+        drive,
+    }
+}
+
+impl Gen<'_> {
+    fn leaf(&mut self, _ctx: Ctx) -> E {
+        let m = self.mix;
+        let mut w = [
+            m.arith + m.branch + m.call + 0.25, // plain scalar leaves
+            m.list,
+            m.vector,
+        ];
+        if self.n_lists == 0 {
+            w[1] = 0.0;
+        }
+        if self.n_vecs == 0 {
+            w[2] = 0.0;
+        }
+        match self.rng.weighted(&w) {
+            // `E::ScratchLen` stays renderable (the shrinker may preserve
+            // one) but is no longer generated: `(length scratch)` walks a
+            // checked cdr+add1 per cell ever pushed, a cost that tracks cons
+            // volume rather than the mix — it blurred both sweep ends.
+            0 => self.scalar_leaf(),
+            1 => self.list_nth(),
+            _ => {
+                let v = self.rng.below(self.n_vecs as u32) as usize;
+                // Small literal indices usually land in range, letting the
+                // renderer skip the `(remainder (abs …))` clamp.
+                E::VecRef(v, Box::new(E::Lit(self.rng.range_i32(0, 6))))
+            }
+        }
+    }
+
+    /// A scalar-only leaf: no list or vector read, so no checkable memory op.
+    fn scalar_leaf(&mut self) -> E {
+        match self.rng.below(3) {
+            0 => E::Lit(self.rng.range_i32(0, 999)),
+            1 => E::Acc,
+            _ => E::Loc(self.rng.below(LOOP_SLOTS as u32) as u8),
+        }
+    }
+
+    fn list_nth(&mut self) -> E {
+        if self.n_lists == 0 {
+            return E::Lit(self.rng.range_i32(0, 999));
+        }
+        let l = self.rng.below(self.n_lists as u32) as usize;
+        // Shallow reads (car, cadr) — the real-code idiom. Deep cdr chains
+        // are all checked ops, which would swamp a list-heavy mix's cheap
+        // allocation work with expensive checking.
+        let k = self.rng.below((self.list_lens[l] as u32).min(2)) as usize;
+        E::ListNth(l, k)
+    }
+
+    fn expr(&mut self, depth: u32, ctx: Ctx) -> E {
+        if depth == 0 {
+            return self.leaf(ctx);
+        }
+        let m = self.mix;
+        let callable = match ctx {
+            Ctx::Fn { in_rec: true, .. } => false,
+            Ctx::Fn { idx, .. } => idx > 0,
+            Ctx::Drive => self.n_fns > 0,
+        };
+        let mut w = [m.list, m.vector, m.arith + 0.25, m.branch, m.call];
+        if self.n_lists == 0 {
+            w[0] = 0.0;
+        }
+        if self.n_vecs == 0 {
+            w[1] = 0.0;
+        }
+        if !callable {
+            w[4] = 0.0;
+        }
+        match self.rng.weighted(&w) {
+            0 => self.list_nth(),
+            1 => {
+                let v = self.rng.below(self.n_vecs as u32) as usize;
+                E::VecRef(v, Box::new(self.expr(depth - 1, ctx)))
+            }
+            2 => {
+                if self.rng.chance(0.1) {
+                    return E::Neg(Box::new(self.expr(depth - 1, ctx)));
+                }
+                // Add/sub scale with the arith weight: they are the paper's
+                // cheap-op/costly-check case, so an arith-heavy mix should be
+                // add1/plus-dense rather than div-dense (division's own
+                // multi-cycle latency would mask the check).
+                let m_arith = self.mix.arith;
+                let op = match self
+                    .rng
+                    .weighted(&[2.0 * m_arith + 1.0, m_arith + 0.6, 0.8, 0.25, 0.25])
+                {
+                    0 => BinOp::Add,
+                    1 => BinOp::Sub,
+                    2 => BinOp::Mul,
+                    3 => BinOp::Quo,
+                    _ => BinOp::Rem,
+                };
+                let a = self.expr(depth - 1, ctx);
+                // A literal-1 operand renders as add1/sub1, so those show up too.
+                let b = if self.rng.chance(0.15) {
+                    E::Lit(1)
+                } else {
+                    self.expr(depth - 1, ctx)
+                };
+                E::Bin(op, Box::new(a), Box::new(b))
+            }
+            3 => E::IfE(
+                Box::new(self.cond(depth - 1, ctx)),
+                Box::new(self.expr(depth - 1, ctx)),
+                Box::new(self.expr(depth - 1, ctx)),
+            ),
+            _ => {
+                let hi = match ctx {
+                    Ctx::Fn { idx, .. } => idx,
+                    Ctx::Drive => self.n_fns,
+                };
+                let j = self.rng.below(hi as u32) as usize;
+                let nargs = 1 + self.rng.below(2) as usize;
+                let args: Vec<E> = (0..nargs).map(|_| self.expr(1, ctx)).collect();
+                if self.rng.chance(0.35) {
+                    E::Funcall(j, args)
+                } else {
+                    E::Call(j, args)
+                }
+            }
+        }
+    }
+
+    fn cond(&mut self, depth: u32, ctx: Ctx) -> Cond {
+        // Comparisons are checked arithmetic; pairp probes are tag tests.
+        // Steer hard so list-leaning mixes branch on structure, not numbers.
+        let list_frac = self.mix.fractions().list;
+        if self.n_lists > 0 && self.rng.chance(0.15 + 0.85 * list_frac) {
+            let l = self.rng.below(self.n_lists as u32) as usize;
+            let k = self.rng.below((self.list_lens[l] as u32 + 1).min(3)) as usize;
+            return Cond::HasTail(l, k);
+        }
+        let op = match self.rng.below(5) {
+            0 => CmpOp::Lt,
+            1 => CmpOp::Gt,
+            2 => CmpOp::Le,
+            3 => CmpOp::Ge,
+            _ => CmpOp::EqN,
+        };
+        Cond::Cmp(
+            op,
+            Box::new(self.expr(depth, ctx)),
+            Box::new(self.expr(depth, ctx)),
+        )
+    }
+
+    fn stmt(&mut self, nest: u32, loop_depth: u8) -> Stmt {
+        let m = self.mix;
+        let mut w = [
+            m.arith + m.call + 0.5,       // AccSet
+            m.list * 1.25,                // ConsPush — unchecked allocation
+            m.list * 0.12,                // ListSet — rplaca is check-dense
+            m.vector,                     // VecSet
+            if nest > 0 { m.branch } else { 0.0 },
+            // Nested counter loops scale with the arith weight: their
+            // lessp+add1 scaffold is exactly the cheap-op/costly-check case,
+            // and letting them appear mix-blind pulls the list end upward.
+            if nest > 0 && loop_depth < LOOP_SLOTS {
+                0.15 + m.arith * 0.35
+            } else {
+                0.0
+            },
+        ];
+        if self.n_lists == 0 {
+            w[1] = 0.0; // cons still fine, but keep list weight meaning
+            w[2] = 0.0;
+        }
+        if self.n_vecs == 0 {
+            w[3] = 0.0;
+        }
+        match self.rng.weighted(&w) {
+            0 => Stmt::AccSet(self.expr(2, Ctx::Drive)),
+            1 => {
+                // Payloads keep a cons what it is in real list-heavy code:
+                // an allocation of a value in hand (a scalar) or of a field
+                // just read (a shallow car/cadr). Deeper expressions — calls,
+                // arithmetic chains — would smuggle the *other* end's profile
+                // into every iteration of a spine walk. The more list-leaning
+                // the mix, the more the payloads are pure allocation.
+                let scalar_frac = 0.55 + 0.35 * self.mix.fractions().list;
+                let payload = if self.rng.chance(scalar_frac) {
+                    self.scalar_leaf()
+                } else {
+                    self.leaf(Ctx::Drive)
+                };
+                Stmt::ConsPush(payload)
+            }
+            2 => {
+                let l = self.rng.below(self.n_lists as u32) as usize;
+                let k = self.rng.below(self.list_lens[l] as u32) as usize;
+                Stmt::ListSet(l, k, self.expr(2, Ctx::Drive))
+            }
+            3 => {
+                let v = self.rng.below(self.n_vecs as u32) as usize;
+                Stmt::VecSet(v, self.expr(1, Ctx::Drive), self.expr(2, Ctx::Drive))
+            }
+            4 => {
+                let c = self.cond(1, Ctx::Drive);
+                let nt = 1 + self.rng.below(2);
+                let nf = self.rng.below(2);
+                let t = (0..nt).map(|_| self.stmt(nest - 1, loop_depth)).collect();
+                let f = (0..nf).map(|_| self.stmt(nest - 1, loop_depth)).collect();
+                Stmt::IfS(c, t, f)
+            }
+            _ => {
+                let count = 3 + self.rng.below(8);
+                let n = 1 + self.rng.below(3);
+                let body = (0..n)
+                    .map(|_| self.stmt(nest - 1, loop_depth + 1))
+                    .collect();
+                Stmt::Repeat(loop_depth, count, body)
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rendering
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, Copy)]
+enum RCtx {
+    Fn { params: u8, fuel: bool, idx: usize },
+    Drive,
+}
+
+struct Render<'a> {
+    p: &'a Program,
+}
+
+/// Render `p` to Lisp source text.
+///
+/// The output always defines `acc`, `scratch`, the surviving `lstN`/`vecN`
+/// globals, the generated functions, `setup` (fills every vector slot so no
+/// read ever sees a non-integer), and `drive`; it ends by printing `acc`, the
+/// scratch length, every list, and every vector element, so the observable
+/// output covers all mutable state.
+pub fn render(p: &Program) -> String {
+    let r = Render { p };
+    let mut out = String::new();
+
+    let _ = writeln!(out, ";; synth seed={} mix={}", p.seed, p.mix);
+    out.push_str("(defvar acc 1)\n(defvar scratch nil)\n");
+    for (i, elems) in p.lists.iter().enumerate() {
+        let body: Vec<String> = elems.iter().map(|e| e.to_string()).collect();
+        let _ = writeln!(out, "(defvar lst{i} (quote ({})))", body.join(" "));
+    }
+    for (i, len) in p.spines.iter().enumerate() {
+        let cells = vec!["0"; (*len).max(1)];
+        let _ = writeln!(out, "(defvar spn{i} (quote ({})))", cells.join(" "));
+    }
+    for (i, len) in p.vecs.iter().enumerate() {
+        let _ = writeln!(out, "(defvar vec{i} (mkvect {}))", (*len).max(1));
+    }
+
+    for (idx, f) in p.fns.iter().enumerate() {
+        let ctx = RCtx::Fn {
+            params: f.params.max(1),
+            fuel: f.rec.is_some(),
+            idx,
+        };
+        let mut sig = String::new();
+        if f.rec.is_some() {
+            sig.push_str("fuel");
+        }
+        for a in 0..f.params.max(1) {
+            if !sig.is_empty() {
+                sig.push(' ');
+            }
+            let _ = write!(sig, "a{a}");
+        }
+        match &f.rec {
+            Some(rec) => {
+                let _ = writeln!(
+                    out,
+                    "(defun f{idx} ({sig})\n  (if (greaterp fuel 0)\n      {}\n      {}))",
+                    r.clamp_small(rec, ctx),
+                    r.clamp_small(&f.body, ctx)
+                );
+            }
+            None => {
+                let _ = writeln!(out, "(defun f{idx} ({sig}) {})", r.clamp_small(&f.body, ctx));
+            }
+        }
+    }
+
+    out.push_str("(defun setup ()\n");
+    for (i, len) in p.vecs.iter().enumerate() {
+        for j in 0..(*len).max(1) {
+            let fill = (i as i32 * 37 + j as i32 * 7 + 1) % 1000;
+            let _ = writeln!(out, "  (putv vec{i} {j} {fill})");
+        }
+    }
+    out.push_str("  nil)\n");
+
+    out.push_str(
+        "(defun drive ()\n  (let ((v0 0) (v1 0) (v2 0) (v3 0) (w0 nil) (w1 nil) (w2 nil) (w3 nil))\n",
+    );
+    for s in &p.drive {
+        r.stmt(s, 4, &mut out);
+    }
+    out.push_str("    acc))\n");
+
+    if !p.vecs.is_empty() {
+        out.push_str(
+            "(defun dumpv (v)\n  (let ((i 0))\n    (while (lessp i (upbv v))\n      \
+             (print (getv v i))\n      (setq i (add1 i)))))\n",
+        );
+    }
+    // Observe scratch through its head (the most recent cons), not through
+    // `length`: a full walk would cost add1+cdr checking per cell ever
+    // pushed, drowning the drive's own op mix in harness cycles.
+    out.push_str(
+        "(setup)\n(drive)\n(print acc)\n(if (pairp scratch) (print (car scratch)) (print 0))\n",
+    );
+    for i in 0..p.lists.len() {
+        let _ = writeln!(out, "(print lst{i})");
+    }
+    for i in 0..p.vecs.len() {
+        let _ = writeln!(out, "(dumpv vec{i})");
+    }
+    out
+}
+
+/// Bound of any value loaded from a storage boundary (global, list element,
+/// vector slot, parameter, function return): stores are clamped, so loads are
+/// strictly below [`SMALL_MOD`].
+const SMALL_BOUND: u64 = (SMALL_MOD - 1) as u64;
+
+impl Render<'_> {
+    /// Render `e` clamped into `(-SMALL_MOD, SMALL_MOD)`. Used at every
+    /// storage boundary; elided when the tracked bound proves the value is
+    /// already small, so a plain `(setq acc (plus a0 v1))` stays unwrapped.
+    fn clamp_small(&self, e: &E, ctx: RCtx) -> String {
+        let (s, b) = self.rexpr(e, ctx);
+        if b < SMALL_MOD as u64 {
+            s
+        } else {
+            format!("(remainder {s} {SMALL_MOD})")
+        }
+    }
+
+    /// Render a `times` operand: reduced mod [`MUL_MOD`] only when its bound
+    /// does not already guarantee an overflow-free product. Stored values are
+    /// below [`SMALL_MOD`] < [`MUL_MOD`], so most operands render bare.
+    fn mul_operand(&self, e: &E, ctx: RCtx) -> (String, u64) {
+        let (s, b) = self.rexpr(e, ctx);
+        if b < MUL_MOD as u64 {
+            (s, b)
+        } else {
+            (format!("(remainder {s} {MUL_MOD})"), (MUL_MOD - 1) as u64)
+        }
+    }
+
+    fn chain(&self, l: usize, k: usize) -> String {
+        format!("{}lst{l}{}", "(cdr ".repeat(k), ")".repeat(k))
+    }
+
+    /// Render a vector index clamped into `[0, len)`. A nonnegative literal
+    /// already in range renders bare — no `(remainder (abs …))` detour.
+    fn index(&self, i: &E, len: usize, ctx: RCtx) -> String {
+        if let E::Lit(v) = i {
+            if (0..len as i32).contains(v) {
+                return v.to_string();
+            }
+        }
+        let (si, _) = self.rexpr(i, ctx);
+        format!("(remainder (abs {si}) {len})")
+    }
+
+    /// Render `e`, returning the source text and a magnitude bound for its
+    /// value. Invariant: the bound never exceeds [`INT_LIMIT`], so every
+    /// intermediate fits the narrowest scheme's fixnum range and the program
+    /// behaves identically whether or not overflow checking is on.
+    fn rexpr(&self, e: &E, ctx: RCtx) -> (String, u64) {
+        match e {
+            E::Lit(v) if *v < 0 => (format!("(minus {})", -(*v as i64)), v.unsigned_abs() as u64),
+            E::Lit(v) => (v.to_string(), *v as u64),
+            E::Acc => ("acc".into(), SMALL_BOUND),
+            E::Loc(s) => {
+                let name = match ctx {
+                    RCtx::Fn { params, .. } => format!("a{}", s % params.max(1)),
+                    RCtx::Drive => format!("v{}", s % LOOP_SLOTS),
+                };
+                (name, SMALL_BOUND)
+            }
+            // At most one cons per rendered IR statement per loop iteration,
+            // and loop nests are depth-2 with literal counts <= 10, so the
+            // scratch list stays well below SMALL_BOUND cells.
+            E::ScratchLen => ("(length scratch)".into(), SMALL_BOUND),
+            E::ListNth(l, k) => {
+                if self.p.lists.is_empty() {
+                    return ("0".into(), 0);
+                }
+                let l = l % self.p.lists.len();
+                let len = self.p.lists[l].len().max(1);
+                (format!("(car {})", self.chain(l, k % len)), SMALL_BOUND)
+            }
+            E::VecRef(v, i) => {
+                if self.p.vecs.is_empty() {
+                    // No vector to read: fall back to the index value itself.
+                    return self.rexpr(i, ctx);
+                }
+                let v = v % self.p.vecs.len();
+                let len = self.p.vecs[v].max(1);
+                (format!("(getv vec{v} {})", self.index(i, len, ctx)), SMALL_BOUND)
+            }
+            E::Neg(a) => {
+                let (s, b) = self.rexpr(a, ctx);
+                (format!("(minus {s})"), b)
+            }
+            E::Bin(op, a, b) => self.bin(*op, a, b, ctx),
+            E::IfE(c, a, b) => {
+                let (sa, ba) = self.rexpr(a, ctx);
+                let (sb, bb) = self.rexpr(b, ctx);
+                (
+                    format!("(if {} {sa} {sb})", self.cond(c, ctx)),
+                    ba.max(bb),
+                )
+            }
+            E::Call(j, args) => self.call(*j, args, ctx, false),
+            E::Funcall(j, args) => self.call(*j, args, ctx, true),
+            E::SelfCall(args) => match ctx {
+                RCtx::Fn {
+                    params,
+                    fuel: true,
+                    idx,
+                } => {
+                    let mut s = format!("(f{idx} (sub1 fuel)");
+                    for a in 0..params {
+                        let arg = args.get(a as usize).cloned().unwrap_or(E::Lit(0));
+                        let _ = write!(s, " {}", self.clamp_small(&arg, ctx));
+                    }
+                    s.push(')');
+                    (s, SMALL_BOUND)
+                }
+                _ => ("0".into(), 0),
+            },
+        }
+    }
+
+    fn bin(&self, op: BinOp, a: &E, b: &E, ctx: RCtx) -> (String, u64) {
+        match op {
+            BinOp::Add | BinOp::Sub => {
+                let (mut sa, mut ba) = self.rexpr(a, ctx);
+                let (mut sb, mut bb) = self.rexpr(b, ctx);
+                // Reduce operands only when the sum could leave the fixnum
+                // range — rare, since it takes a chain of products to get
+                // anywhere near INT_LIMIT.
+                if ba + bb > INT_LIMIT {
+                    if ba >= SMALL_MOD as u64 {
+                        sa = format!("(remainder {sa} {SMALL_MOD})");
+                        ba = SMALL_BOUND;
+                    }
+                    if ba + bb > INT_LIMIT {
+                        sb = format!("(remainder {sb} {SMALL_MOD})");
+                        bb = SMALL_BOUND;
+                    }
+                }
+                let s = if op == BinOp::Add && matches!(*b, E::Lit(1)) {
+                    format!("(add1 {sa})")
+                } else if op == BinOp::Add && matches!(*a, E::Lit(1)) {
+                    format!("(add1 {sb})")
+                } else if op == BinOp::Sub && matches!(*b, E::Lit(1)) {
+                    format!("(sub1 {sa})")
+                } else if op == BinOp::Add {
+                    format!("(plus {sa} {sb})")
+                } else {
+                    format!("(difference {sa} {sb})")
+                };
+                (s, ba + bb)
+            }
+            BinOp::Mul => {
+                let (sa, ba) = self.mul_operand(a, ctx);
+                let (sb, bb) = self.mul_operand(b, ctx);
+                (format!("(times {sa} {sb})"), ba * bb)
+            }
+            BinOp::Quo | BinOp::Rem => {
+                let (sa, ba) = self.rexpr(a, ctx);
+                let (mut sb, mut bb) = self.rexpr(b, ctx);
+                // `(add1 (abs d))` must itself stay in range.
+                if bb >= INT_LIMIT {
+                    sb = format!("(remainder {sb} {SMALL_MOD})");
+                    bb = SMALL_BOUND;
+                }
+                let name = if op == BinOp::Quo {
+                    "quotient"
+                } else {
+                    "remainder"
+                };
+                let bound = if op == BinOp::Quo { ba } else { ba.min(bb) };
+                (format!("({name} {sa} (add1 (abs {sb})))"), bound)
+            }
+        }
+    }
+
+    fn call(&self, j: usize, args: &[E], ctx: RCtx, via_symbol: bool) -> (String, u64) {
+        // A function may only call lower-numbered functions; the shrinker can
+        // renumber, so clamp the target at render time too.
+        let hi = match ctx {
+            RCtx::Fn { idx, .. } => idx,
+            RCtx::Drive => self.p.fns.len(),
+        };
+        if hi == 0 || self.p.fns.is_empty() {
+            return match args.first() {
+                Some(a) => (self.clamp_small(a, ctx), SMALL_BOUND),
+                None => ("0".into(), 0),
+            };
+        }
+        let j = j % hi;
+        let target = &self.p.fns[j];
+        let mut s = if via_symbol {
+            format!("(funcall (quote f{j})")
+        } else {
+            format!("(f{j}")
+        };
+        if target.rec.is_some() {
+            let _ = write!(s, " {}", 1 + (j as u32 % MAX_FUEL));
+        }
+        for a in 0..target.params.max(1) {
+            let arg = args.get(a as usize).cloned().unwrap_or(E::Lit(0));
+            let _ = write!(s, " {}", self.clamp_small(&arg, ctx));
+        }
+        s.push(')');
+        // Function bodies are clamped at the top, so returns are small.
+        (s, SMALL_BOUND)
+    }
+
+    fn cond(&self, c: &Cond, ctx: RCtx) -> String {
+        match c {
+            Cond::Cmp(op, a, b) => {
+                let name = match op {
+                    CmpOp::Lt => "lessp",
+                    CmpOp::Gt => "greaterp",
+                    CmpOp::Le => "leq",
+                    CmpOp::Ge => "geq",
+                    CmpOp::EqN => "eqn",
+                };
+                let (sa, _) = self.rexpr(a, ctx);
+                let (sb, _) = self.rexpr(b, ctx);
+                format!("({name} {sa} {sb})")
+            }
+            Cond::HasTail(l, k) => {
+                if self.p.lists.is_empty() {
+                    return "nil".into();
+                }
+                let l = l % self.p.lists.len();
+                // `cdr^k` is pair-safe for k <= len (the last cdr yields nil).
+                let k = k % (self.p.lists[l].len() + 1);
+                format!("(pairp {})", self.chain(l, k))
+            }
+        }
+    }
+
+    /// Emit `e` as drive statements, leaving a value in `(-SMALL_MOD,
+    /// SMALL_MOD)` and returning the expression text that names it. When the
+    /// tracked bound already proves the value small this emits nothing and
+    /// returns the bare rendering. Otherwise the raw value lands in `acc` and
+    /// is renormalized by two compare-and-reset conditionals: unlike a
+    /// `(remainder … SMALL_MOD)` wrap, whose ~25 unchecked division cycles
+    /// per store dilute exactly the op mix the sweep steers, the conditional
+    /// reset costs a few compare/branch cycles with an ordinary checked-arith
+    /// profile. The reset constants vary per site (derived from the rendered
+    /// text) so folded values stay program-specific.
+    fn store_value(&self, e: &E, pad: &str, out: &mut String) -> String {
+        let (s, b) = self.rexpr(e, RCtx::Drive);
+        if b < SMALL_MOD as u64 {
+            return s;
+        }
+        let salt: u64 = s.bytes().map(u64::from).sum();
+        let k1 = 100 + salt % 3900;
+        let k2 = 100 + (salt * 7 + 13) % 3900;
+        let _ = writeln!(out, "{pad}(setq acc {s})");
+        let _ = writeln!(
+            out,
+            "{pad}(if (greaterp acc {}) (setq acc {k1}) nil)",
+            SMALL_MOD - 1
+        );
+        let _ = writeln!(
+            out,
+            "{pad}(if (lessp acc (minus {})) (setq acc {k2}) nil)",
+            SMALL_MOD - 1
+        );
+        "acc".into()
+    }
+
+    fn stmt(&self, s: &Stmt, indent: usize, out: &mut String) {
+        let pad = " ".repeat(indent);
+        let ctx = RCtx::Drive;
+        match s {
+            Stmt::AccSet(e) => {
+                let value = self.store_value(e, &pad, out);
+                if value != "acc" {
+                    let _ = writeln!(out, "{pad}(setq acc {value})");
+                }
+            }
+            Stmt::ConsPush(e) => {
+                let value = self.store_value(e, &pad, out);
+                let _ = writeln!(out, "{pad}(setq scratch (cons {value} scratch))");
+            }
+            Stmt::VecSet(v, i, e) => {
+                if self.p.vecs.is_empty() {
+                    let value = self.store_value(e, &pad, out);
+                    if value != "acc" {
+                        let _ = writeln!(out, "{pad}(setq acc {value})");
+                    }
+                    return;
+                }
+                let v = v % self.p.vecs.len();
+                let len = self.p.vecs[v].max(1);
+                let value = self.store_value(e, &pad, out);
+                let _ = writeln!(
+                    out,
+                    "{pad}(putv vec{v} {} {value})",
+                    self.index(i, len, ctx)
+                );
+            }
+            Stmt::ListSet(l, k, e) => {
+                if self.p.lists.is_empty() {
+                    let value = self.store_value(e, &pad, out);
+                    if value != "acc" {
+                        let _ = writeln!(out, "{pad}(setq acc {value})");
+                    }
+                    return;
+                }
+                let l = l % self.p.lists.len();
+                let len = self.p.lists[l].len().max(1);
+                let value = self.store_value(e, &pad, out);
+                let _ = writeln!(out, "{pad}(rplaca {} {value})", self.chain(l, k % len));
+            }
+            Stmt::IfS(c, t, f) => {
+                let _ = writeln!(out, "{pad}(if {}", self.cond(c, ctx));
+                for (arm, label) in [(t, "then"), (f, "else")] {
+                    let _ = writeln!(out, "{pad}    (progn ; {label}");
+                    if arm.is_empty() {
+                        let _ = writeln!(out, "{pad}      nil");
+                    }
+                    for s in arm {
+                        self.stmt(s, indent + 6, out);
+                    }
+                    let _ = writeln!(out, "{pad}    )");
+                }
+                let _ = writeln!(out, "{pad})");
+            }
+            Stmt::Repeat(slot, count, body) => {
+                let v = slot % LOOP_SLOTS;
+                let _ = writeln!(out, "{pad}(setq v{v} 0)");
+                let _ = writeln!(out, "{pad}(while (lessp v{v} {count})");
+                for s in body {
+                    self.stmt(s, indent + 2, out);
+                }
+                let _ = writeln!(out, "{pad}  (setq v{v} (add1 v{v})))");
+            }
+            Stmt::ForSpine(slot, spine, body) => {
+                if self.p.spines.is_empty() {
+                    // No spine to walk (the shrinker dropped them all): run
+                    // the body once.
+                    for s in body {
+                        self.stmt(s, indent, out);
+                    }
+                    return;
+                }
+                let w = slot % LOOP_SLOTS;
+                let spine = spine % self.p.spines.len();
+                let _ = writeln!(out, "{pad}(setq w{w} spn{spine})");
+                let _ = writeln!(out, "{pad}(while (pairp w{w})");
+                for s in body {
+                    self.stmt(s, indent + 2, out);
+                }
+                let _ = writeln!(out, "{pad}  (setq w{w} (cdr w{w})))");
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let mix = OpMix::balanced();
+        let a = generate(7, &mix);
+        let b = generate(7, &mix);
+        assert_eq!(a, b);
+        assert_eq!(render(&a), render(&b));
+        let c = generate(8, &mix);
+        assert_ne!(render(&a), render(&c));
+    }
+
+    #[test]
+    fn rendered_programs_compile_and_run_clean() {
+        // A spread of seeds compiles and halts OK under the default config —
+        // the full scheme x checking x hw sweep lives in the oracle tests.
+        for seed in 0..12u64 {
+            let p = generate(seed, &OpMix::balanced());
+            let src = render(&p);
+            let compiled = lisp::compile(&src, &lisp::Options::default())
+                .unwrap_or_else(|e| panic!("seed {seed}: compile failed: {e}\n{src}"));
+            let out = lisp::run(&compiled, 50_000_000)
+                .unwrap_or_else(|e| panic!("seed {seed}: sim failed: {e:?}"));
+            assert_eq!(out.halt_code, 0, "seed {seed} trapped:\n{src}");
+        }
+    }
+
+    #[test]
+    fn mix_weights_steer_the_census() {
+        // Arith-heavy seeds should do more arithmetic than list work, and
+        // vice versa, as measured by the reference evaluator's census.
+        // The renderer's safety wraps (`remainder`, index clamps, loop
+        // counters) put a floor under every program's arithmetic count, so
+        // compare profiles against each other in aggregate rather than
+        // within one program.
+        let opts = lisp::eval::EvalOptions::default();
+        let (mut arith_a, mut arith_l) = (0u64, 0u64);
+        let (mut list_a, mut list_l) = (0u64, 0u64);
+        for seed in 0..8u64 {
+            let a = lisp::eval::eval_source(&render(&generate(seed, &OpMix::arith_heavy())), &opts)
+                .unwrap();
+            let l = lisp::eval::eval_source(&render(&generate(seed, &OpMix::list_heavy())), &opts)
+                .unwrap();
+            arith_a += a.census.arith_all;
+            list_a += a.census.list_all;
+            arith_l += l.census.arith_all;
+            list_l += l.census.list_all;
+        }
+        assert!(
+            arith_a >= 2 * arith_l,
+            "arith-heavy should out-arith list-heavy: {arith_a} vs {arith_l}"
+        );
+        assert!(
+            list_l >= 2 * list_a,
+            "list-heavy should out-list arith-heavy: {list_l} vs {list_a}"
+        );
+    }
+
+    #[test]
+    fn gutted_programs_still_render_valid_source() {
+        // The shrinker may empty out any part of the IR; rendering must stay
+        // well-formed and trap-free.
+        let mut p = generate(3, &OpMix::balanced());
+        p.lists.clear();
+        p.spines.clear();
+        p.vecs.clear();
+        p.fns.clear();
+        p.drive.truncate(2);
+        let src = render(&p);
+        let compiled = lisp::compile(&src, &lisp::Options::default())
+            .unwrap_or_else(|e| panic!("compile failed: {e}\n{src}"));
+        let out = lisp::run(&compiled, 10_000_000).unwrap();
+        assert_eq!(out.halt_code, 0, "{src}");
+    }
+
+    #[test]
+    fn size_counts_ir_nodes() {
+        let p = Program {
+            seed: 0,
+            mix: OpMix::balanced(),
+            lists: vec![vec![1, 2]],
+            spines: vec![],
+            vecs: vec![],
+            fns: vec![],
+            drive: vec![Stmt::AccSet(E::Bin(
+                BinOp::Add,
+                Box::new(E::Lit(1)),
+                Box::new(E::Acc),
+            ))],
+        };
+        // 1 list + 1 stmt + 3 expr nodes.
+        assert_eq!(p.size(), 5);
+    }
+}

@@ -1,0 +1,210 @@
+//! Op-mix profiles: target proportions of the operation categories the paper's
+//! per-program overhead spread is built from.
+//!
+//! Table 1 of the paper attributes the 6–88% checking-overhead range to how
+//! much of each benchmark is list access, vector access, and fixnum
+//! arithmetic. A profile expresses that mix as nonnegative weights over five
+//! categories; the generator draws operations in proportion. Profiles can be
+//! interpolated ([`OpMix::lerp`]) to sweep an axis (list-heavy → arith-heavy)
+//! and round-tripped through a `key=weight` string form for CLI use.
+
+use std::fmt;
+
+/// Nonnegative weights over the generator's operation categories.
+///
+/// The weights are relative, not normalized: `list=2,arith=1` draws twice as
+/// many list operations as arithmetic ones regardless of scale.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OpMix {
+    /// `car`/`cdr`/`cons`/`rplaca` structure operations.
+    pub list: f64,
+    /// `mkvect`/`getv`/`putv`/`upbv` vector operations.
+    pub vector: f64,
+    /// Fixnum arithmetic (`plus`/`difference`/`times`/`quotient`/`remainder`).
+    pub arith: f64,
+    /// Conditional branches (`if` on comparisons and `pairp` probes).
+    pub branch: f64,
+    /// Known calls and `funcall`s through symbols.
+    pub call: f64,
+}
+
+impl OpMix {
+    /// Equal weight on every category.
+    pub fn balanced() -> OpMix {
+        OpMix {
+            list: 1.0,
+            vector: 1.0,
+            arith: 1.0,
+            branch: 1.0,
+            call: 1.0,
+        }
+    }
+
+    /// Mostly list traversal and consing — the `boyer`/`browse` end of
+    /// Table 1, where overhead is low because parallel checked loads can
+    /// absorb the cost.
+    pub fn list_heavy() -> OpMix {
+        OpMix {
+            list: 8.0,
+            vector: 0.25,
+            arith: 0.5,
+            branch: 1.0,
+            call: 0.5,
+        }
+    }
+
+    /// Mostly vector reads and writes.
+    pub fn vector_heavy() -> OpMix {
+        OpMix {
+            list: 0.25,
+            vector: 8.0,
+            arith: 0.5,
+            branch: 1.0,
+            call: 0.5,
+        }
+    }
+
+    /// Mostly fixnum arithmetic — the `puzzle`/`traverse` end of Table 1,
+    /// where every add carries an operand check and an overflow test.
+    pub fn arith_heavy() -> OpMix {
+        OpMix {
+            list: 0.25,
+            vector: 0.25,
+            arith: 8.0,
+            branch: 1.0,
+            call: 0.5,
+        }
+    }
+
+    /// Linear interpolation: `t = 0` gives `a`, `t = 1` gives `b`.
+    pub fn lerp(a: &OpMix, b: &OpMix, t: f64) -> OpMix {
+        let t = t.clamp(0.0, 1.0);
+        let mix = |x: f64, y: f64| x + (y - x) * t;
+        OpMix {
+            list: mix(a.list, b.list),
+            vector: mix(a.vector, b.vector),
+            arith: mix(a.arith, b.arith),
+            branch: mix(a.branch, b.branch),
+            call: mix(a.call, b.call),
+        }
+    }
+
+    /// The weights scaled to sum to 1 (fractions). Returns `balanced()`
+    /// normalized if every weight is zero.
+    pub fn fractions(&self) -> OpMix {
+        let total = self.list + self.vector + self.arith + self.branch + self.call;
+        if total <= 0.0 {
+            return OpMix::balanced().fractions();
+        }
+        OpMix {
+            list: self.list / total,
+            vector: self.vector / total,
+            arith: self.arith / total,
+            branch: self.branch / total,
+            call: self.call / total,
+        }
+    }
+
+    /// Parse the `Display` form: comma-separated `key=weight` pairs over
+    /// `list`, `vector`, `arith`, `branch`, `call`, or a preset name
+    /// (`balanced`, `list-heavy`, `vector-heavy`, `arith-heavy`). Unmentioned
+    /// keys default to 0.
+    pub fn parse(s: &str) -> Result<OpMix, String> {
+        match s.trim() {
+            "balanced" => return Ok(OpMix::balanced()),
+            "list-heavy" => return Ok(OpMix::list_heavy()),
+            "vector-heavy" => return Ok(OpMix::vector_heavy()),
+            "arith-heavy" => return Ok(OpMix::arith_heavy()),
+            _ => {}
+        }
+        let mut mix = OpMix {
+            list: 0.0,
+            vector: 0.0,
+            arith: 0.0,
+            branch: 0.0,
+            call: 0.0,
+        };
+        for pair in s.split(',') {
+            let pair = pair.trim();
+            if pair.is_empty() {
+                continue;
+            }
+            let (key, value) = pair
+                .split_once('=')
+                .ok_or_else(|| format!("op-mix term `{pair}` is not key=weight"))?;
+            let w: f64 = value
+                .trim()
+                .parse()
+                .map_err(|_| format!("op-mix weight `{value}` is not a number"))?;
+            if !w.is_finite() || w < 0.0 {
+                return Err(format!("op-mix weight `{value}` must be finite and >= 0"));
+            }
+            match key.trim() {
+                "list" => mix.list = w,
+                "vector" => mix.vector = w,
+                "arith" => mix.arith = w,
+                "branch" => mix.branch = w,
+                "call" => mix.call = w,
+                other => return Err(format!("unknown op-mix key `{other}`")),
+            }
+        }
+        if mix.list + mix.vector + mix.arith + mix.branch + mix.call <= 0.0 {
+            return Err(format!("op-mix `{s}` has no positive weight"));
+        }
+        Ok(mix)
+    }
+}
+
+impl fmt::Display for OpMix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "list={},vector={},arith={},branch={},call={}",
+            self.list, self.vector, self.arith, self.branch, self.call
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_round_trips_display() {
+        let mix = OpMix {
+            list: 2.5,
+            vector: 0.0,
+            arith: 1.0,
+            branch: 0.5,
+            call: 0.25,
+        };
+        assert_eq!(OpMix::parse(&mix.to_string()).unwrap(), mix);
+    }
+
+    #[test]
+    fn parse_accepts_presets_and_rejects_junk() {
+        assert_eq!(OpMix::parse("balanced").unwrap(), OpMix::balanced());
+        assert_eq!(OpMix::parse("arith-heavy").unwrap(), OpMix::arith_heavy());
+        assert!(OpMix::parse("list=").is_err());
+        assert!(OpMix::parse("warp=1").is_err());
+        assert!(OpMix::parse("list=-1").is_err());
+        assert!(OpMix::parse("list=0,arith=0").is_err());
+    }
+
+    #[test]
+    fn lerp_hits_endpoints_and_midpoint() {
+        let a = OpMix::list_heavy();
+        let b = OpMix::arith_heavy();
+        assert_eq!(OpMix::lerp(&a, &b, 0.0), a);
+        assert_eq!(OpMix::lerp(&a, &b, 1.0), b);
+        let mid = OpMix::lerp(&a, &b, 0.5);
+        assert!((mid.list - (a.list + b.list) / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fractions_sum_to_one() {
+        let f = OpMix::arith_heavy().fractions();
+        let sum = f.list + f.vector + f.arith + f.branch + f.call;
+        assert!((sum - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,378 @@
+//! Greedy counterexample minimization.
+//!
+//! The shrinker walks a failing [`Program`]'s IR proposing strictly smaller
+//! variants — dropping statements, flattening conditionals and loops,
+//! replacing expressions with literals or their own children, discarding
+//! functions, lists and vectors — and greedily commits the first variant on
+//! which the caller's predicate still reports failure, restarting until a
+//! fixpoint. Because the renderer re-derives every safety wrap from the IR
+//! (see [`crate::gen`]), every variant is again a valid, trap-free program,
+//! so the predicate only ever sees runnable candidates.
+
+use crate::gen::{Cond, GenFn, Program, Stmt, E};
+
+/// Shrink `p` while `still_failing` holds. `still_failing(&p)` must be true
+/// on entry (the original must actually fail); the result is a program that
+/// still fails but admits no single smaller step that does.
+pub fn shrink(p: &Program, still_failing: &mut dyn FnMut(&Program) -> bool) -> Program {
+    let mut cur = p.clone();
+    debug_assert!(still_failing(&cur), "shrink called on a passing program");
+    loop {
+        let before = cur.size();
+        let mut advanced = false;
+        for cand in candidates(&cur) {
+            if cand.size() < before && still_failing(&cand) {
+                cur = cand;
+                advanced = true;
+                break;
+            }
+        }
+        if !advanced {
+            return cur;
+        }
+    }
+}
+
+/// All single-step reductions of `p`, cheapest-to-test and biggest-win first.
+fn candidates(p: &Program) -> Vec<Program> {
+    let mut out = Vec::new();
+
+    // Drop a whole drive statement (largest wins first).
+    for i in (0..p.drive.len()).rev() {
+        let mut q = p.clone();
+        q.drive.remove(i);
+        out.push(q);
+    }
+    // Flatten structured statements: a conditional becomes one of its arms,
+    // a loop becomes a single unrolled body.
+    for i in 0..p.drive.len() {
+        for repl in flatten_stmt(&p.drive[i]) {
+            let mut q = p.clone();
+            q.drive.splice(i..=i, repl);
+            out.push(q);
+        }
+    }
+    // Drop a function / list / vector, or trim a list to one element.
+    for i in (0..p.fns.len()).rev() {
+        let mut q = p.clone();
+        q.fns.remove(i);
+        out.push(q);
+    }
+    // Make a recursive function plain (drop its recursive arm).
+    for i in 0..p.fns.len() {
+        if p.fns[i].rec.is_some() {
+            let mut q = p.clone();
+            q.fns[i] = GenFn {
+                rec: None,
+                ..p.fns[i].clone()
+            };
+            out.push(q);
+        }
+    }
+    for i in (0..p.lists.len()).rev() {
+        let mut q = p.clone();
+        q.lists.remove(i);
+        out.push(q);
+        if p.lists[i].len() > 1 {
+            let mut q = p.clone();
+            q.lists[i].truncate(1);
+            out.push(q);
+        }
+    }
+    for i in (0..p.vecs.len()).rev() {
+        let mut q = p.clone();
+        q.vecs.remove(i);
+        out.push(q);
+        if p.vecs[i] > 1 {
+            let mut q = p.clone();
+            q.vecs[i] = 1;
+            out.push(q);
+        }
+    }
+    for i in (0..p.spines.len()).rev() {
+        let mut q = p.clone();
+        q.spines.remove(i);
+        out.push(q);
+        if p.spines[i] > 1 {
+            let mut q = p.clone();
+            q.spines[i] = 1;
+            out.push(q);
+        }
+    }
+    // Simplify one expression somewhere in the program.
+    rewrite_programs(p, &mut out);
+    out
+}
+
+/// Structured-statement flattenings: each returned Vec replaces the statement.
+fn flatten_stmt(s: &Stmt) -> Vec<Vec<Stmt>> {
+    match s {
+        Stmt::IfS(_, t, f) => vec![t.clone(), f.clone()],
+        Stmt::Repeat(_, _, body) | Stmt::ForSpine(_, _, body) => vec![body.clone()],
+        _ => Vec::new(),
+    }
+}
+
+/// Push one program per single-expression rewrite (any expression position in
+/// any statement, function body, or recursive arm).
+fn rewrite_programs(p: &Program, out: &mut Vec<Program>) {
+    for fi in 0..p.fns.len() {
+        for body in variants_e(&p.fns[fi].body) {
+            let mut q = p.clone();
+            q.fns[fi].body = body;
+            out.push(q);
+        }
+        if let Some(rec) = &p.fns[fi].rec {
+            for r in variants_e(rec) {
+                let mut q = p.clone();
+                q.fns[fi].rec = Some(r);
+                out.push(q);
+            }
+        }
+    }
+    for si in 0..p.drive.len() {
+        for s in variants_s(&p.drive[si]) {
+            let mut q = p.clone();
+            q.drive[si] = s;
+            out.push(q);
+        }
+    }
+}
+
+/// Strictly smaller rewrites of an expression: the literal 1, each direct
+/// child, and each single-position rewrite of a child.
+fn variants_e(e: &E) -> Vec<E> {
+    let mut out = Vec::new();
+    if !matches!(e, E::Lit(_) | E::Acc | E::Loc(_)) {
+        out.push(E::Lit(1));
+    }
+    // Hoist children.
+    match e {
+        E::VecRef(_, i) => out.push((**i).clone()),
+        E::Neg(a) => out.push((**a).clone()),
+        E::Bin(_, a, b) => {
+            out.push((**a).clone());
+            out.push((**b).clone());
+        }
+        E::IfE(_, a, b) => {
+            out.push((**a).clone());
+            out.push((**b).clone());
+        }
+        E::Call(_, args) | E::Funcall(_, args) | E::SelfCall(args) => {
+            out.extend(args.iter().cloned());
+        }
+        _ => {}
+    }
+    // Recurse one level: rebuild with each child variant.
+    match e {
+        E::VecRef(v, i) => {
+            for iv in variants_e(i) {
+                out.push(E::VecRef(*v, Box::new(iv)));
+            }
+        }
+        E::Neg(a) => {
+            for av in variants_e(a) {
+                out.push(E::Neg(Box::new(av)));
+            }
+        }
+        E::Bin(op, a, b) => {
+            for av in variants_e(a) {
+                out.push(E::Bin(*op, Box::new(av), b.clone()));
+            }
+            for bv in variants_e(b) {
+                out.push(E::Bin(*op, a.clone(), Box::new(bv)));
+            }
+        }
+        E::IfE(c, a, b) => {
+            for cv in variants_c(c) {
+                out.push(E::IfE(Box::new(cv), a.clone(), b.clone()));
+            }
+            for av in variants_e(a) {
+                out.push(E::IfE(c.clone(), Box::new(av), b.clone()));
+            }
+            for bv in variants_e(b) {
+                out.push(E::IfE(c.clone(), a.clone(), Box::new(bv)));
+            }
+        }
+        E::Call(j, args) => rebuild_args(args, |a| E::Call(*j, a), &mut out),
+        E::Funcall(j, args) => rebuild_args(args, |a| E::Funcall(*j, a), &mut out),
+        E::SelfCall(args) => rebuild_args(args, E::SelfCall, &mut out),
+        _ => {}
+    }
+    out
+}
+
+fn rebuild_args(args: &[E], build: impl Fn(Vec<E>) -> E, out: &mut Vec<E>) {
+    for (i, a) in args.iter().enumerate() {
+        for av in variants_e(a) {
+            let mut next = args.to_vec();
+            next[i] = av;
+            out.push(build(next));
+        }
+    }
+}
+
+fn variants_c(c: &Cond) -> Vec<Cond> {
+    match c {
+        Cond::Cmp(op, a, b) => {
+            let mut out = Vec::new();
+            for av in variants_e(a) {
+                out.push(Cond::Cmp(*op, Box::new(av), b.clone()));
+            }
+            for bv in variants_e(b) {
+                out.push(Cond::Cmp(*op, a.clone(), Box::new(bv)));
+            }
+            out
+        }
+        Cond::HasTail(..) => Vec::new(),
+    }
+}
+
+fn variants_s(s: &Stmt) -> Vec<Stmt> {
+    match s {
+        Stmt::AccSet(e) => variants_e(e).into_iter().map(Stmt::AccSet).collect(),
+        Stmt::ConsPush(e) => variants_e(e).into_iter().map(Stmt::ConsPush).collect(),
+        Stmt::VecSet(v, i, e) => {
+            let mut out: Vec<Stmt> = variants_e(i)
+                .into_iter()
+                .map(|iv| Stmt::VecSet(*v, iv, e.clone()))
+                .collect();
+            out.extend(
+                variants_e(e)
+                    .into_iter()
+                    .map(|ev| Stmt::VecSet(*v, i.clone(), ev)),
+            );
+            out
+        }
+        Stmt::ListSet(l, k, e) => variants_e(e)
+            .into_iter()
+            .map(|ev| Stmt::ListSet(*l, *k, ev))
+            .collect(),
+        Stmt::IfS(c, t, f) => {
+            let mut out: Vec<Stmt> = variants_c(c)
+                .into_iter()
+                .map(|cv| Stmt::IfS(cv, t.clone(), f.clone()))
+                .collect();
+            for i in 0..t.len() {
+                for sv in variants_s(&t[i]) {
+                    let mut tv = t.clone();
+                    tv[i] = sv;
+                    out.push(Stmt::IfS(c.clone(), tv, f.clone()));
+                }
+                let mut tv = t.clone();
+                tv.remove(i);
+                out.push(Stmt::IfS(c.clone(), tv, f.clone()));
+            }
+            for i in 0..f.len() {
+                let mut fv = f.clone();
+                fv.remove(i);
+                out.push(Stmt::IfS(c.clone(), t.clone(), fv));
+            }
+            out
+        }
+        Stmt::Repeat(slot, count, body) => {
+            let mut out = Vec::new();
+            if *count > 1 {
+                out.push(Stmt::Repeat(*slot, 1, body.clone()));
+            }
+            for i in 0..body.len() {
+                for sv in variants_s(&body[i]) {
+                    let mut bv = body.clone();
+                    bv[i] = sv;
+                    out.push(Stmt::Repeat(*slot, *count, bv));
+                }
+                let mut bv = body.clone();
+                bv.remove(i);
+                out.push(Stmt::Repeat(*slot, *count, bv));
+            }
+            out
+        }
+        Stmt::ForSpine(slot, spine, body) => {
+            let mut out = Vec::new();
+            for i in 0..body.len() {
+                for sv in variants_s(&body[i]) {
+                    let mut bv = body.clone();
+                    bv[i] = sv;
+                    out.push(Stmt::ForSpine(*slot, *spine, bv));
+                }
+                let mut bv = body.clone();
+                bv.remove(i);
+                out.push(Stmt::ForSpine(*slot, *spine, bv));
+            }
+            out
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{generate, BinOp};
+    use crate::profile::OpMix;
+
+    /// A cheap structural predicate: "program still contains a multiply".
+    fn has_mul(p: &Program) -> bool {
+        fn in_e(e: &E) -> bool {
+            match e {
+                E::Bin(BinOp::Mul, ..) => true,
+                E::Bin(_, a, b) => in_e(a) || in_e(b),
+                E::VecRef(_, i) => in_e(i),
+                E::Neg(a) => in_e(a),
+                E::IfE(c, a, b) => in_c(c) || in_e(a) || in_e(b),
+                E::Call(_, args) | E::Funcall(_, args) | E::SelfCall(args) => {
+                    args.iter().any(in_e)
+                }
+                _ => false,
+            }
+        }
+        fn in_c(c: &Cond) -> bool {
+            match c {
+                Cond::Cmp(_, a, b) => in_e(a) || in_e(b),
+                Cond::HasTail(..) => false,
+            }
+        }
+        fn in_s(s: &Stmt) -> bool {
+            match s {
+                Stmt::AccSet(e) | Stmt::ConsPush(e) | Stmt::ListSet(_, _, e) => in_e(e),
+                Stmt::VecSet(_, i, e) => in_e(i) || in_e(e),
+                Stmt::IfS(c, t, f) => in_c(c) || t.iter().any(in_s) || f.iter().any(in_s),
+                Stmt::Repeat(_, _, body) | Stmt::ForSpine(_, _, body) => body.iter().any(in_s),
+            }
+        }
+        p.fns
+            .iter()
+            .any(|f| in_e(&f.body) || f.rec.as_ref().is_some_and(in_e))
+            || p.drive.iter().any(in_s)
+    }
+
+    #[test]
+    fn shrinks_to_a_tiny_witness() {
+        // Find a seed whose program contains a multiply, then shrink under
+        // the predicate "still contains a multiply": the fixpoint should be
+        // nearly nothing but that multiply.
+        let seed = (0..50u64)
+            .find(|&s| has_mul(&generate(s, &OpMix::arith_heavy())))
+            .expect("some arith-heavy seed multiplies");
+        let p = generate(seed, &OpMix::arith_heavy());
+        let small = shrink(&p, &mut has_mul);
+        assert!(has_mul(&small));
+        assert!(
+            small.size() < p.size(),
+            "no progress: {} -> {}",
+            p.size(),
+            small.size()
+        );
+        assert!(small.size() <= 6, "not minimal: size {}", small.size());
+    }
+
+    #[test]
+    fn every_candidate_is_strictly_smaller_or_filtered() {
+        let p = generate(5, &OpMix::balanced());
+        // candidates() may propose equal-size rewrites (e.g. replacing a Lit
+        // child with Lit(1)); shrink() filters those. Here we just confirm
+        // the generator produces a healthy pool and nothing larger by much.
+        for cand in candidates(&p) {
+            assert!(cand.size() <= p.size());
+        }
+    }
+}

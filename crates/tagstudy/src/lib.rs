@@ -69,6 +69,6 @@ pub mod tables;
 
 pub use config::Config;
 pub use lisp::CheckingMode;
-pub use measure::{run_benchmark, run_program, Measurement, StudyError, Timing};
+pub use measure::{run_benchmark, run_program, InlineProgram, Measurement, StudyError, Timing};
 pub use metrics::{Event, Histogram, Json, MetricsRegistry};
 pub use session::{Progress, Session, SessionStats};

@@ -15,6 +15,71 @@ use programs::Benchmark;
 
 use crate::config::Config;
 
+/// A caller-supplied program: Lisp source text plus an optional heap override
+/// and an optional pinned output.
+///
+/// This is the dynamic counterpart of [`programs::Benchmark`] (whose fields
+/// are `&'static str` because the ten paper benchmarks are compiled in).
+/// Registered on a [`Session`](crate::Session) under a name via
+/// [`Session::register_source`](crate::Session::register_source), an inline
+/// program is measured, cached, deduplicated, and reported exactly like a
+/// built-in benchmark; generated workloads (the `synth` crate) and the daemon's
+/// inline experiment specs both ride this path.
+///
+/// When `expected_output` is `None` the measurement validates only that the
+/// program halts cleanly (exit code [`lisp::exit_code::OK`]) — the right
+/// default for generated programs whose output is pinned elsewhere (by the
+/// reference evaluator). When it is `Some`, the output is asserted exactly as
+/// for a built-in benchmark.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InlineProgram {
+    /// The Lisp source text.
+    pub source: String,
+    /// Per-semispace heap bytes; `None` uses the configuration's default.
+    pub heap_semi_bytes: Option<u32>,
+    /// Exact expected output, or `None` to validate the exit code only.
+    pub expected_output: Option<String>,
+}
+
+impl InlineProgram {
+    /// An inline program with the default heap and no pinned output.
+    pub fn new(source: impl Into<String>) -> InlineProgram {
+        InlineProgram {
+            source: source.into(),
+            heap_semi_bytes: None,
+            expected_output: None,
+        }
+    }
+
+    /// Override the per-semispace heap size.
+    #[must_use]
+    pub fn with_heap(mut self, semi_bytes: u32) -> InlineProgram {
+        self.heap_semi_bytes = Some(semi_bytes);
+        self
+    }
+
+    /// Pin the exact expected output.
+    #[must_use]
+    pub fn with_expected_output(mut self, output: impl Into<String>) -> InlineProgram {
+        self.expected_output = Some(output.into());
+        self
+    }
+
+    /// Compile under `opts`, the heap override (when set) taking precedence —
+    /// the same contract as [`programs::Benchmark::compile`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`lisp::CompileError`].
+    pub fn compile(&self, opts: &lisp::Options) -> Result<lisp::CompiledProgram, lisp::CompileError> {
+        let opts = lisp::Options {
+            heap_semi_bytes: self.heap_semi_bytes.unwrap_or(opts.heap_semi_bytes),
+            ..*opts
+        };
+        lisp::compile(&self.source, &opts)
+    }
+}
+
 /// A failure while measuring (any of these indicates a toolchain bug, since the
 /// benchmarks are fixed inputs).
 #[derive(Debug, Clone)]
@@ -169,6 +234,60 @@ pub fn run_benchmark_timed(
 /// [`StudyError`] on compile/run failure or output mismatch.
 pub fn run_benchmark(b: &Benchmark, config: &Config) -> Result<Measurement, StudyError> {
     run_benchmark_timed(b, config).map(|(m, _)| m)
+}
+
+/// [`run_benchmark_timed`] for an [`InlineProgram`] registered as `name`.
+///
+/// Validation matches the program's contract: the exit code must be
+/// [`lisp::exit_code::OK`], and the output must match `expected_output` when
+/// one is pinned.
+///
+/// # Errors
+///
+/// [`StudyError`] on compile/run failure, a non-zero exit, or (when pinned)
+/// an output mismatch.
+pub fn run_inline_timed(
+    name: &str,
+    p: &InlineProgram,
+    config: &Config,
+) -> Result<(Measurement, Timing), StudyError> {
+    let compile_start = Instant::now();
+    let compiled = p
+        .compile(&config.to_options())
+        .map_err(|e| StudyError::Compile {
+            program: name.to_string(),
+            message: e.to_string(),
+        })?;
+    let compile_time = compile_start.elapsed();
+    let sim_start = Instant::now();
+    let outcome = lisp::run(&compiled, programs::FUEL).map_err(|e| StudyError::Sim {
+        program: name.to_string(),
+        message: e.to_string(),
+    })?;
+    let output_ok = p
+        .expected_output
+        .as_ref()
+        .is_none_or(|want| outcome.output == *want);
+    if outcome.halt_code != lisp::exit_code::OK || !output_ok {
+        return Err(StudyError::WrongOutput {
+            program: name.to_string(),
+            config: config.to_string(),
+            got: format!("halt={} {:?}", outcome.halt_code, outcome.output),
+        });
+    }
+    let timing = Timing {
+        compile: compile_time,
+        simulate: sim_start.elapsed(),
+    };
+    Ok((
+        Measurement {
+            program: name.to_string(),
+            config: *config,
+            stats: outcome.stats,
+            compile: compiled.stats,
+        },
+        timing,
+    ))
 }
 
 /// Run a named benchmark under `config`.

@@ -47,6 +47,9 @@ pub mod names {
     /// Counter: measurements preloaded into the cache from a persistent store
     /// (see [`crate::Session::seed`]) — answered later without simulating.
     pub const SEEDED: &str = "session_seeded_total";
+    /// Counter: inline programs registered on the session (see
+    /// [`crate::Session::register_source`]).
+    pub const SOURCES_REGISTERED: &str = "session_sources_registered_total";
 }
 
 /// A fixed-bucket histogram (Prometheus-style, non-cumulative internally).

@@ -28,8 +28,18 @@ use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 use crate::config::Config;
-use crate::measure::{run_benchmark_timed, Measurement, StudyError, Timing};
+use crate::measure::{
+    run_benchmark_timed, run_inline_timed, InlineProgram, Measurement, StudyError, Timing,
+};
 use crate::metrics::{names, MetricsRegistry, DURATION_BUCKETS, OCCUPANCY_BUCKETS};
+
+/// A resolved program name: either one of the ten compiled-in paper
+/// benchmarks, or an [`InlineProgram`] registered on this session.
+#[derive(Clone, Copy)]
+enum Source<'a> {
+    Builtin(&'static programs::Benchmark),
+    Inline(&'a InlineProgram),
+}
 
 /// A progress event, delivered to the session's callback as measurements move
 /// through the engine. Callbacks run on worker threads; keep them cheap.
@@ -93,6 +103,9 @@ type MeasureResult = Result<(Measurement, Timing), StudyError>;
 /// The memoizing, parallel experiment engine. See the [module docs](self).
 pub struct Session {
     cache: HashMap<(String, Config), (Measurement, Timing)>,
+    /// Caller-registered inline programs, consulted before the built-in
+    /// benchmark registry when a name is resolved.
+    sources: HashMap<String, InlineProgram>,
     parallelism: NonZeroUsize,
     progress: Option<ProgressFn>,
     writeback: Option<WritebackFn>,
@@ -128,6 +141,7 @@ impl Session {
             .unwrap_or(NonZeroUsize::new(4).expect("non-zero"));
         Session {
             cache: HashMap::new(),
+            sources: HashMap::new(),
             parallelism,
             progress: None,
             writeback: None,
@@ -211,6 +225,51 @@ impl Session {
         }
         self.cache.insert(key, (measurement, timing));
         true
+    }
+
+    /// Register an [`InlineProgram`] under `name`, making it measurable,
+    /// cacheable, and compilable exactly like a built-in benchmark. A
+    /// registered name shadows a built-in of the same name (callers that want
+    /// no ambiguity should use a distinct namespace, as the daemon does with
+    /// its content-addressed `inline:<hash>` names).
+    ///
+    /// Re-registering the identical program is a no-op and returns `false`.
+    /// Re-registering a *different* program under an existing name replaces
+    /// it and evicts every cached measurement for that name — the cache is
+    /// keyed by name, and stale results must not outlive their source.
+    pub fn register_source(&mut self, name: impl Into<String>, program: InlineProgram) -> bool {
+        let name = name.into();
+        if self.sources.get(&name) == Some(&program) {
+            return false;
+        }
+        let replaced = self.sources.insert(name.clone(), program).is_some();
+        if replaced {
+            self.cache.retain(|(cached, _), _| *cached != name);
+        }
+        let mut m = self.lock_metrics();
+        m.inc(names::SOURCES_REGISTERED);
+        m.event(
+            "source_registered",
+            &[("program", &name), ("replaced", &replaced.to_string())],
+        );
+        true
+    }
+
+    /// Whether `name` is currently answerable: a registered inline source or
+    /// a built-in benchmark.
+    pub fn has_source(&self, name: &str) -> bool {
+        self.sources.contains_key(name) || programs::by_name(name).is_some()
+    }
+
+    /// Resolve a program name: registered inline sources first, then the
+    /// built-in benchmark registry.
+    fn resolve(&self, name: &str) -> Result<Source<'_>, StudyError> {
+        if let Some(p) = self.sources.get(name) {
+            return Ok(Source::Inline(p));
+        }
+        programs::by_name(name)
+            .map(Source::Builtin)
+            .ok_or_else(|| StudyError::UnknownProgram(name.to_string()))
     }
 
     /// Iterate over every cached measurement and its timing, in no particular
@@ -339,12 +398,16 @@ impl Session {
         program: &str,
         config: Config,
     ) -> Result<Measurement, StudyError> {
-        crate::measure::run_program(program, &config)
+        match self.resolve(program)? {
+            Source::Builtin(b) => crate::measure::run_benchmark(b, &config),
+            Source::Inline(p) => run_inline_timed(program, p, &config).map(|(m, _)| m),
+        }
     }
 
-    /// Compile a named benchmark under `config` without running it. The
-    /// conformance harness uses this to get at the executable image both
-    /// executors will interpret.
+    /// Compile a named program (built-in benchmark or registered inline
+    /// source) under `config` without running it. The conformance harness
+    /// uses this to get at the executable image both executors will
+    /// interpret.
     ///
     /// # Errors
     ///
@@ -354,14 +417,15 @@ impl Session {
         program: &str,
         config: Config,
     ) -> Result<lisp::CompiledProgram, StudyError> {
-        let benchmark = programs::by_name(program)
-            .ok_or_else(|| StudyError::UnknownProgram(program.to_string()))?;
-        benchmark
-            .compile(&config.to_options())
-            .map_err(|e| StudyError::Compile {
-                program: program.to_string(),
-                message: e.to_string(),
-            })
+        let opts = config.to_options();
+        match self.resolve(program)? {
+            Source::Builtin(b) => b.compile(&opts),
+            Source::Inline(p) => p.compile(&opts),
+        }
+        .map_err(|e| StudyError::Compile {
+            program: program.to_string(),
+            message: e.to_string(),
+        })
     }
 
     /// Run a named benchmark with the retired-instruction trace enabled (see
@@ -398,9 +462,12 @@ impl Session {
                 program: program.to_string(),
                 message: e.to_string(),
             })?;
-        let benchmark = programs::by_name(program).expect("compiled above");
-        if outcome.halt_code != lisp::exit_code::OK || outcome.output != benchmark.expected_output
-        {
+        let expected: Option<&str> = match self.resolve(program).expect("compiled above") {
+            Source::Builtin(b) => Some(b.expected_output),
+            Source::Inline(p) => p.expected_output.as_deref(),
+        };
+        let output_ok = expected.is_none_or(|want| outcome.output == want);
+        if outcome.halt_code != lisp::exit_code::OK || !output_ok {
             return Err(StudyError::WrongOutput {
                 program: program.to_string(),
                 config: config.to_string(),
@@ -599,26 +666,19 @@ impl Session {
     }
 
     fn run_one(&self, (name, config): &(String, Config)) -> MeasureResult {
-        let Some(benchmark) = programs::by_name(name) else {
-            return Err(StudyError::UnknownProgram(name.clone()));
-        };
+        let source = self.resolve(name)?;
         let depth = self.inflight.fetch_add(1, Ordering::Relaxed) + 1;
         {
             let mut m = self.lock_metrics();
             m.observe(names::POOL_OCCUPANCY, OCCUPANCY_BUCKETS, depth as f64);
             m.gauge_max(names::POOL_PEAK_OCCUPANCY, depth as f64);
         }
-        let result = self.run_one_inner(name, config, benchmark);
+        let result = self.run_one_inner(name, config, source);
         self.inflight.fetch_sub(1, Ordering::Relaxed);
         result
     }
 
-    fn run_one_inner(
-        &self,
-        name: &str,
-        config: &Config,
-        benchmark: &programs::Benchmark,
-    ) -> MeasureResult {
+    fn run_one_inner(&self, name: &str, config: &Config, source: Source<'_>) -> MeasureResult {
         // The Started emit runs inside the panic guard too: a misbehaving
         // progress callback surfaces as this measurement's error, not as a
         // harness abort.
@@ -627,7 +687,10 @@ impl Session {
                 program: name.to_owned(),
                 config: *config,
             });
-            run_benchmark_timed(benchmark, config)
+            match source {
+                Source::Builtin(b) => run_benchmark_timed(b, config),
+                Source::Inline(p) => run_inline_timed(name, p, config),
+            }
         }))
             .unwrap_or_else(|payload| {
                 Err(StudyError::Sim {
@@ -826,6 +889,89 @@ mod tests {
         assert_eq!(warm.stats().misses, 0, "seeded entry served without work");
         assert_eq!(warm.stats().hits, 1);
         assert_eq!(warm.metrics().counter(names::SEEDED), 1);
+    }
+
+    /// Inline sources flow through the same cache, counters, and writeback
+    /// as built-in benchmarks, and carry their pinned output when given one.
+    #[test]
+    fn inline_sources_measure_like_benchmarks() {
+        let cfg = Config::baseline(CheckingMode::Full);
+        let mut s = Session::serial();
+        assert!(!s.has_source("tiny"));
+        assert!(s.register_source(
+            "tiny",
+            InlineProgram::new("(print (plus 1 2))").with_expected_output("3\n"),
+        ));
+        assert!(s.has_source("tiny"));
+        assert!(
+            !s.register_source(
+                "tiny",
+                InlineProgram::new("(print (plus 1 2))").with_expected_output("3\n"),
+            ),
+            "identical re-registration is a no-op"
+        );
+        let m = s.measure("tiny", cfg).unwrap();
+        assert_eq!(m.program, "tiny");
+        assert!(m.stats.cycles > 0);
+        s.measure("tiny", cfg).unwrap();
+        assert_eq!((s.stats().misses, s.stats().hits), (1, 1));
+        assert_eq!(s.metrics().counter(names::SOURCES_REGISTERED), 1);
+
+        // Uncached and compile-only paths resolve the same name.
+        s.measure_uncached("tiny", cfg).unwrap();
+        let compiled = s.compile_program("tiny", cfg).unwrap();
+        assert!(compiled.stats.object_words > 0);
+    }
+
+    /// A wrong pinned output is a [`StudyError::WrongOutput`]; no pinned
+    /// output validates the exit code only.
+    #[test]
+    fn inline_expected_output_is_enforced_when_pinned() {
+        let cfg = Config::baseline(CheckingMode::Full);
+        let mut s = Session::serial();
+        s.register_source(
+            "claims-four",
+            InlineProgram::new("(print (plus 1 2))").with_expected_output("4\n"),
+        );
+        s.register_source("unpinned", InlineProgram::new("(print (plus 1 2))"));
+        let err = s.measure("claims-four", cfg).unwrap_err();
+        assert!(
+            matches!(&err, StudyError::WrongOutput { program, .. } if program == "claims-four"),
+            "{err}"
+        );
+        s.measure("unpinned", cfg).unwrap();
+    }
+
+    /// Replacing a registered source under the same name evicts its cached
+    /// measurements, so a stale result can never outlive its source.
+    #[test]
+    fn reregistering_a_different_source_evicts_the_cache() {
+        let cfg = Config::baseline(CheckingMode::Full);
+        let mut s = Session::serial();
+        s.register_source("shifty", InlineProgram::new("(print (plus 1 2))"));
+        s.measure("shifty", cfg).unwrap();
+        assert!(s.contains("shifty", cfg));
+        assert!(s.register_source("shifty", InlineProgram::new("(print (plus 2 3))")));
+        assert!(!s.contains("shifty", cfg), "stale measurement evicted");
+        s.measure("shifty", cfg).unwrap();
+        assert_eq!(s.stats().misses, 2, "replacement re-measured");
+    }
+
+    /// An inline source that fails to compile surfaces as
+    /// [`StudyError::Compile`] with the registered name, and an unknown name
+    /// is still [`StudyError::UnknownProgram`].
+    #[test]
+    fn inline_compile_errors_carry_the_registered_name() {
+        let cfg = Config::baseline(CheckingMode::Full);
+        let mut s = Session::serial();
+        s.register_source("broken", InlineProgram::new("(print (no-such-fn 1))"));
+        let err = s.measure("broken", cfg).unwrap_err();
+        assert!(
+            matches!(&err, StudyError::Compile { program, .. } if program == "broken"),
+            "{err}"
+        );
+        let err = s.measure("never-registered", cfg).unwrap_err();
+        assert!(matches!(err, StudyError::UnknownProgram(_)), "{err}");
     }
 
     #[test]
