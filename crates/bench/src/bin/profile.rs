@@ -8,6 +8,7 @@
 //! ```text
 //! profile <benchmark> [--scheme high5|high6|low2|low3] [--checking none|full]
 //!                     [--hw plain|tagbr|genarith|maximal|spur]
+//!                     [--backend classic|fast|ref]
 //!                     [--folded] [--metrics json|prom]
 //! ```
 //!
@@ -26,7 +27,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: profile <benchmark> [--scheme high5|high6|low2|low3] \
          [--checking none|full] [--hw plain|tagbr|genarith|maximal|spur] \
-         [--folded] [--metrics json|prom]\nbenchmarks: {}",
+         [--backend classic|fast|ref] [--folded] [--metrics json|prom]\nbenchmarks: {}",
         programs::names().join(" ")
     );
     std::process::exit(2);
@@ -49,7 +50,9 @@ fn parse_or_usage<T>(r: Result<T, String>) -> T {
 
 fn main() {
     let mut args = std::env::args().skip(1).collect::<Vec<_>>().into_iter();
-    let Some(benchmark) = args.next() else { usage() };
+    let Some(benchmark) = args.next() else {
+        usage()
+    };
     if benchmark.starts_with('-') || programs::by_name(&benchmark).is_none() {
         eprintln!("unknown benchmark {benchmark:?}");
         usage();
@@ -57,15 +60,21 @@ fn main() {
     let mut scheme = tagword::TagScheme::HighTag5;
     let mut checking = tagstudy::CheckingMode::Full;
     let mut hw_name = spec::DEFAULT_HW.to_string();
+    let mut backend = mipsx::Backend::default();
     let mut folded = false;
     let mut metrics: Option<String> = None;
     while let Some(arg) = args.next() {
         match arg.as_str() {
-            "--scheme" => scheme = parse_or_usage(spec::parse_scheme(&next_arg(&mut args, "--scheme"))),
+            "--scheme" => {
+                scheme = parse_or_usage(spec::parse_scheme(&next_arg(&mut args, "--scheme")))
+            }
             "--checking" => {
                 checking = parse_or_usage(spec::parse_checking(&next_arg(&mut args, "--checking")));
             }
             "--hw" => hw_name = next_arg(&mut args, "--hw"),
+            "--backend" => {
+                backend = parse_or_usage(spec::parse_backend(&next_arg(&mut args, "--backend")));
+            }
             "--folded" => folded = true,
             "--metrics" => metrics = Some(next_arg(&mut args, "--metrics")),
             _ => {
@@ -77,7 +86,9 @@ fn main() {
     // Hardware is parsed after the flag loop: `maximal`/`spur` depend on the
     // scheme's tag width, and `--scheme` may come after `--hw` on the line.
     let hw = parse_or_usage(spec::parse_hw(&hw_name, scheme));
-    let config = Config::new(scheme, checking).with_hw(hw);
+    let config = Config::new(scheme, checking)
+        .with_hw(hw)
+        .with_backend(backend);
 
     let session = bench::session();
     let (measurement, profiler) =

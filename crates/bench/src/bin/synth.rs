@@ -176,9 +176,7 @@ fn main() {
         .windows(2)
         .all(|w| w[1].overhead() >= w[0].overhead() * (1.0 - MONOTONE_TOLERANCE));
 
-    let json = render_json(
-        &curve, scheme, &hw_name, seeds, seed_base, span, monotone,
-    );
+    let json = render_json(&curve, scheme, &hw_name, seeds, seed_base, span, monotone);
     std::fs::write(&out_path, &json).unwrap_or_else(|e| {
         eprintln!("cannot write {out_path}: {e}");
         std::process::exit(1);

@@ -1,11 +1,14 @@
 //! Textual experiment specs, shared by every front end.
 //!
 //! One experiment point is written `program:scheme:checking:hw` with trailing
-//! fields optional (`frl`, `frl:low2`, `frl:high5:full:tagbr`, …). The same
-//! grammar — and the same flag vocabulary (`--scheme`, `--checking`, `--hw`)
-//! — is understood by the `profile` binary, the `tagctl` client, and the
-//! `tagstudyd` daemon's wire protocol, so a spec that works in one place works
-//! everywhere.
+//! fields optional (`frl`, `frl:low2`, `frl:high5:full:tagbr`, …). A final
+//! `backend=classic|fast|ref` field pins the simulator backend
+//! (`frl:backend=ref`, `frl:low2:none:plain:backend=classic`); backends
+//! produce identical results, so the key never enters cache identities. The
+//! same grammar — and the same flag vocabulary (`--scheme`, `--checking`,
+//! `--hw`) — is understood by the `profile` binary, the `tagctl` client, and
+//! the `tagstudyd` daemon's wire protocol, so a spec that works in one place
+//! works everywhere.
 
 use tagstudy::{CheckingMode, Config};
 
@@ -51,7 +54,11 @@ impl ExperimentSpec {
     /// An inline experiment: measure caller-supplied Lisp source under
     /// `config`. The program name is derived from the source content via
     /// [`inline_name`].
-    pub fn inline(source: impl Into<String>, config: Config, heap_semi_bytes: Option<u32>) -> ExperimentSpec {
+    pub fn inline(
+        source: impl Into<String>,
+        config: Config,
+        heap_semi_bytes: Option<u32>,
+    ) -> ExperimentSpec {
         let source = source.into();
         ExperimentSpec {
             program: inline_name(&source),
@@ -126,8 +133,21 @@ pub fn parse_checking(name: &str) -> Result<CheckingMode, String> {
     match name.to_ascii_lowercase().as_str() {
         "none" => Ok(CheckingMode::None),
         "full" => Ok(CheckingMode::Full),
-        _ => Err(format!("unknown checking mode {name:?} (want none or full)")),
+        _ => Err(format!(
+            "unknown checking mode {name:?} (want none or full)"
+        )),
     }
+}
+
+/// Parse an execution-backend name (`classic`, `fast`, or `ref`), ignoring
+/// ASCII case.
+///
+/// # Errors
+///
+/// A usage-ready message naming the accepted backends.
+pub fn parse_backend(name: &str) -> Result<mipsx::Backend, String> {
+    mipsx::Backend::from_name(name)
+        .ok_or_else(|| format!("unknown backend {name:?} (want classic, fast, or ref)"))
 }
 
 /// Parse a hardware level name for `scheme` (the tag-dependent levels need the
@@ -153,12 +173,16 @@ pub fn parse_hw(name: &str, scheme: tagword::TagScheme) -> Result<mipsx::HwConfi
 /// The one place every spec error is phrased: the reason, the offending spec,
 /// and the grammar reminder, in that order.
 fn spec_error(text: &str, why: impl std::fmt::Display) -> String {
-    format!("{why} in spec {text:?} (want program[:scheme[:checking[:hw]]])")
+    format!(
+        "{why} in spec {text:?} (want program[:scheme[:checking[:hw]]][:backend=classic|fast|ref])"
+    )
 }
 
-/// Parse one `program[:scheme[:checking[:hw]]]` spec, validating the benchmark
-/// name against the registry. Field values are case-insensitive and
-/// whitespace around fields is ignored; the benchmark name itself is exact.
+/// Parse one `program[:scheme[:checking[:hw]]][:backend=B]` spec, validating
+/// the benchmark name against the registry. Field values are case-insensitive
+/// and whitespace around fields is ignored; the benchmark name itself is
+/// exact. The optional final `backend=` field selects the simulator backend
+/// without affecting the point's identity (see [`Config`]).
 ///
 /// # Errors
 ///
@@ -167,7 +191,21 @@ fn spec_error(text: &str, why: impl std::fmt::Display) -> String {
 /// many `:`-separated fields.
 pub fn parse_spec(text: &str) -> Result<ExperimentSpec, String> {
     const FIELD_NAMES: [&str; 4] = ["benchmark", "scheme", "checking", "hw"];
-    let fields: Vec<&str> = text.split(':').map(str::trim).collect();
+    let mut fields: Vec<&str> = text.split(':').map(str::trim).collect();
+    let mut backend = mipsx::Backend::default();
+    let last: &str = fields.last().copied().unwrap_or("");
+    if fields.len() >= 2
+        && last
+            .get(..8)
+            .is_some_and(|p| p.eq_ignore_ascii_case("backend="))
+    {
+        let name = last[8..].trim();
+        if name.is_empty() {
+            return Err(spec_error(text, "empty backend field"));
+        }
+        backend = parse_backend(name).map_err(|e| spec_error(text, e))?;
+        fields.pop();
+    }
     if fields.len() > FIELD_NAMES.len() {
         return Err(spec_error(text, format!("trailing field {:?}", fields[4])));
     }
@@ -187,15 +225,17 @@ pub fn parse_spec(text: &str) -> Result<ExperimentSpec, String> {
             ),
         ));
     }
-    let scheme =
-        parse_scheme(fields.get(1).copied().unwrap_or(DEFAULT_SCHEME)).map_err(|e| spec_error(text, e))?;
+    let scheme = parse_scheme(fields.get(1).copied().unwrap_or(DEFAULT_SCHEME))
+        .map_err(|e| spec_error(text, e))?;
     let checking = parse_checking(fields.get(2).copied().unwrap_or(DEFAULT_CHECKING))
         .map_err(|e| spec_error(text, e))?;
     let hw = parse_hw(fields.get(3).copied().unwrap_or(DEFAULT_HW), scheme)
         .map_err(|e| spec_error(text, e))?;
     Ok(ExperimentSpec {
         program: program.to_string(),
-        config: Config::new(scheme, checking).with_hw(hw),
+        config: Config::new(scheme, checking)
+            .with_hw(hw)
+            .with_backend(backend),
         source: None,
         heap_semi_bytes: None,
     })
@@ -205,7 +245,7 @@ pub fn parse_spec(text: &str) -> Result<ExperimentSpec, String> {
 pub fn spec_grammar() -> String {
     let schemes: Vec<&str> = tagword::ALL_SCHEMES.iter().map(|s| s.name()).collect();
     format!(
-        "spec: program[:scheme[:checking[:hw]]]  (schemes: {}; checking: none|full; hw: {})\n\
+        "spec: program[:scheme[:checking[:hw]]][:backend=B]  (schemes: {}; checking: none|full; hw: {}; backend: classic|fast|ref)\n\
          benchmarks: {}",
         schemes.join("|"),
         HW_LEVELS.join("|"),
@@ -242,11 +282,21 @@ mod tests {
 
     #[test]
     fn bad_specs_are_described() {
-        assert!(parse_spec("nope").unwrap_err().contains("unknown benchmark"));
-        assert!(parse_spec("frl:tag9").unwrap_err().contains("unknown scheme"));
-        assert!(parse_spec("frl:high5:maybe").unwrap_err().contains("checking"));
-        assert!(parse_spec("frl:high5:full:warp").unwrap_err().contains("hardware"));
-        assert!(parse_spec("frl:high5:full:plain:x").unwrap_err().contains("trailing"));
+        assert!(parse_spec("nope")
+            .unwrap_err()
+            .contains("unknown benchmark"));
+        assert!(parse_spec("frl:tag9")
+            .unwrap_err()
+            .contains("unknown scheme"));
+        assert!(parse_spec("frl:high5:maybe")
+            .unwrap_err()
+            .contains("checking"));
+        assert!(parse_spec("frl:high5:full:warp")
+            .unwrap_err()
+            .contains("hardware"));
+        assert!(parse_spec("frl:high5:full:plain:x")
+            .unwrap_err()
+            .contains("trailing"));
     }
 
     /// Every malformed shape goes through the one canonical error path: the
@@ -284,13 +334,69 @@ mod tests {
         }
     }
 
+    /// The trailing `backend=` key pins the simulator backend at any truncation
+    /// point of the positional grammar, without changing the point's identity.
+    #[test]
+    fn backend_key_is_parsed_and_identity_free() {
+        use mipsx::Backend;
+        let cases = [
+            ("frl:backend=classic", Backend::Classic),
+            ("frl:backend=fast", Backend::Fast),
+            ("frl:low2:backend=ref", Backend::Ref),
+            ("frl:high5:full:plain:backend=ref", Backend::Ref),
+            ("frl : BACKEND=Fast", Backend::Fast),
+        ];
+        for (text, want) in cases {
+            let s = parse_spec(text).unwrap();
+            assert_eq!(s.config.backend, want, "{text}");
+            // The backend never reaches the cache identity or the canonical
+            // rendered form.
+            let plain = parse_spec(&s.to_spec_string()).unwrap();
+            assert_eq!(s, plain, "{text}: backend must not split identity");
+            assert!(!s.to_spec_string().contains("backend"), "{text}");
+        }
+        assert_eq!(
+            parse_spec("frl").unwrap().config.backend,
+            Backend::default(),
+            "omitted key means the default backend"
+        );
+    }
+
+    /// Unknown or empty backend values go through the canonical error path.
+    #[test]
+    fn bad_backend_values_are_canonically_phrased() {
+        for (text, reason) in [
+            ("frl:backend=turbo", "unknown backend \"turbo\""),
+            ("frl:backend=", "empty backend field"),
+            ("frl:high5:full:plain:backend=x", "unknown backend"),
+        ] {
+            let err = parse_spec(text).unwrap_err();
+            assert!(err.contains(reason), "{text:?}: {err}");
+            assert!(
+                err.contains(&format!("in spec {text:?}")),
+                "{text:?}: error does not quote the spec: {err}"
+            );
+            assert!(
+                err.contains("want program[:scheme[:checking[:hw]]]"),
+                "{text:?}: error does not restate the grammar: {err}"
+            );
+        }
+        // A backend key anywhere but last is not recognized as a key.
+        assert!(parse_spec("frl:backend=fast:low2")
+            .unwrap_err()
+            .contains("unknown scheme"));
+    }
+
     /// Scheme, checking, and hw names are case-insensitive and tolerate
     /// surrounding whitespace; the benchmark name stays exact.
     #[test]
     fn field_values_are_case_insensitive() {
         let canonical = parse_spec("frl:low2:none:tagbr").unwrap();
         assert_eq!(parse_spec("frl:LOW2:None:TagBr").unwrap(), canonical);
-        assert_eq!(parse_spec(" frl : Low2 : NONE : TAGBR ").unwrap(), canonical);
+        assert_eq!(
+            parse_spec(" frl : Low2 : NONE : TAGBR ").unwrap(),
+            canonical
+        );
         assert!(parse_spec("FRL").unwrap_err().contains("unknown benchmark"));
     }
 
@@ -307,7 +413,10 @@ mod tests {
         assert!(a.program.starts_with("inline:"), "{}", a.program);
         assert_eq!(a.source.as_deref(), Some("(print 1)"));
         assert_eq!(c.heap_semi_bytes, Some(64 << 10));
-        assert_eq!(a.to_spec_string(), format!("{}:high5:full:plain", a.program));
+        assert_eq!(
+            a.to_spec_string(),
+            format!("{}:high5:full:plain", a.program)
+        );
         assert_eq!(a.program, inline_name("(print 1)"));
     }
 }

@@ -1,9 +1,10 @@
 //! The trace-oracle differential harness.
 //!
-//! Every cycle count the study reports comes out of the pipelined simulator
-//! ([`mipsx::Cpu`]); this crate checks that simulator against a second,
+//! Every cycle count the study reports comes out of a pipelined simulator
+//! backend ([`mipsx::Cpu`] or [`mipsx::FastCpu`], selected by a
+//! [`mipsx::Backend`]); this crate checks the subject backend against a second,
 //! deliberately naive implementation of the same ISA ([`mipsx::RefCpu`]). The
-//! two executors run the same program **in lockstep**: the pipelined CPU's
+//! two executors run the same program **in lockstep**: the subject backend's
 //! retired-instruction trace (see [`mipsx::trace`]) drives one [`RefCpu::step`]
 //! per retirement, and the two [`Retirement`] records are compared on the spot.
 //! Comparison is O(1) in memory — the benchmark workloads retire hundreds of
@@ -35,7 +36,9 @@ use std::fmt;
 use std::ops::ControlFlow;
 
 use mipsx::trace::{Observer, Retirement};
-use mipsx::{Annot, Cpu, Fault, HwConfig, InsnClass, Program, RefCpu, Reg, SimError, Stats};
+use mipsx::{
+    Annot, Backend, Executor, Fault, HwConfig, InsnClass, Program, RefCpu, Reg, SimError, Stats,
+};
 
 /// How many agreed retirements to keep for divergence context.
 const CONTEXT: usize = 8;
@@ -321,16 +324,20 @@ impl Observer for Lockstep<'_> {
     }
 }
 
-/// Check one program: run it on both executors in lockstep and verify trace,
-/// final state, and statistics agreement. `fault`, if given, is injected into
-/// the *reference* executor — used by self-tests to prove the harness notices
-/// a semantics bug.
+/// Check one program: run it on the subject `backend` and the reference
+/// executor in lockstep and verify trace, final state, and statistics
+/// agreement. `fault`, if given, is injected into the *reference* executor —
+/// used by self-tests to prove the harness notices a semantics bug.
+///
+/// Checking [`Backend::Ref`] against itself is legal but vacuous; the
+/// interesting subjects are [`Backend::Classic`] and [`Backend::Fast`].
 ///
 /// # Errors
 ///
 /// [`CheckError::Diverged`] when the executors disagree, [`CheckError::Sim`]
-/// when the pipelined simulator itself fails (e.g. out of fuel).
+/// when the subject simulator itself fails (e.g. out of fuel).
 pub fn check_program(
+    backend: Backend,
     prog: &Program,
     hw: HwConfig,
     mem_bytes: usize,
@@ -342,7 +349,9 @@ pub fn check_program(
         reference.inject_fault(fault);
     }
     let mut lockstep = Lockstep::new(reference);
-    let mut cpu = Cpu::new(prog, hw, mem_bytes);
+    let mut cpu = backend
+        .executor(prog, hw, mem_bytes)
+        .map_err(CheckError::Sim)?;
 
     let outcome = match cpu.run_observed(fuel, &mut lockstep) {
         Ok(outcome) => outcome,
@@ -428,11 +437,13 @@ pub fn check_program(
 ///
 /// As [`check_program`].
 pub fn check_compiled(
+    backend: Backend,
     compiled: &lisp::CompiledProgram,
     fuel: u64,
     fault: Option<Fault>,
 ) -> Result<Conformance, CheckError> {
     check_program(
+        backend,
         &compiled.program,
         compiled.hw,
         compiled.mem_bytes,
@@ -466,16 +477,20 @@ mod tests {
     #[test]
     fn clean_program_conforms() {
         let prog = tiny_program();
-        let c = check_program(&prog, HwConfig::plain(), 1 << 12, 10_000, None).unwrap();
-        assert!(c.retired > 10);
-        assert_eq!(c.traps, 0);
-        assert!(c.cycles >= c.retired, "every retirement costs >= 1 cycle");
+        for backend in [Backend::Classic, Backend::Fast] {
+            let c =
+                check_program(backend, &prog, HwConfig::plain(), 1 << 12, 10_000, None).unwrap();
+            assert!(c.retired > 10);
+            assert_eq!(c.traps, 0);
+            assert!(c.cycles >= c.retired, "every retirement costs >= 1 cycle");
+        }
     }
 
     #[test]
     fn injected_fault_is_reported_with_context() {
         let prog = tiny_program();
         let err = check_program(
+            Backend::Classic,
             &prog,
             HwConfig::plain(),
             1 << 12,
@@ -503,21 +518,27 @@ mod tests {
     #[test]
     fn injected_branch_fault_is_caught() {
         let prog = tiny_program();
-        let err = check_program(
-            &prog,
-            HwConfig::plain(),
-            1 << 12,
-            10_000,
-            Some(Fault::BranchInvert { nth: 10 }),
-        )
-        .unwrap_err();
-        assert!(matches!(err, CheckError::Diverged(_)), "got {err}");
+        for backend in [Backend::Classic, Backend::Fast] {
+            let err = check_program(
+                backend,
+                &prog,
+                HwConfig::plain(),
+                1 << 12,
+                10_000,
+                Some(Fault::BranchInvert { nth: 10 }),
+            )
+            .unwrap_err();
+            assert!(matches!(err, CheckError::Diverged(_)), "got {err}");
+        }
     }
 
     #[test]
     fn out_of_fuel_is_a_sim_error_not_a_divergence() {
         let prog = tiny_program();
-        let err = check_program(&prog, HwConfig::plain(), 1 << 12, 5, None).unwrap_err();
-        assert!(matches!(err, CheckError::Sim(SimError::OutOfFuel { .. })));
+        for backend in [Backend::Classic, Backend::Fast] {
+            let err =
+                check_program(backend, &prog, HwConfig::plain(), 1 << 12, 5, None).unwrap_err();
+            assert!(matches!(err, CheckError::Sim(SimError::OutOfFuel { .. })));
+        }
     }
 }

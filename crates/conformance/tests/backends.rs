@@ -1,0 +1,165 @@
+//! Backend equivalence: the predecoded `FastCpu` must be *byte-identical* to
+//! the classic `Cpu` — same `Outcome`, same `Stats`, same retirement stream.
+//!
+//! Two workloads:
+//!
+//! - **200 fixed-seed synth oracle programs** (the generator the cross-scheme
+//!   oracle sweeps), each under a rotating cell of the 24-point
+//!   scheme × checking × hardware matrix. These are small, so the comparison
+//!   is a full [`TraceBuffer`] equality — every `Retirement`, annotation,
+//!   cycle stamp, and squashed slot, in order.
+//! - **All ten benchmarks** under the full 24-config oracle matrix. These
+//!   retire hundreds of millions of instructions, so the streams are compared
+//!   through the constant-memory [`StreamHash`] observer instead.
+//!
+//! Debug builds (plain `cargo test`) run a deterministic subset of both
+//! sweeps; `--release` runs everything. One `#[test]` per slice so failures
+//! name their cell and the slices run in parallel.
+
+use mipsx::trace::{StreamHash, TraceBuffer};
+use mipsx::{Backend, Outcome};
+use synth::{generate, oracle_configs, render, OpMix};
+use tagstudy::{Config, Session};
+
+/// Assert every field of two outcomes matches, including the full `Stats`.
+fn assert_outcomes_identical(label: &str, classic: &Outcome, fast: &Outcome) {
+    assert_eq!(classic.halt_code, fast.halt_code, "{label}: halt code");
+    assert_eq!(classic.output, fast.output, "{label}: output stream");
+    assert_eq!(classic.stats, fast.stats, "{label}: statistics");
+}
+
+/// Run `compiled` on classic and fast, comparing outcomes and the *complete*
+/// recorded trace (small programs only).
+fn assert_full_trace_equal(label: &str, compiled: &lisp::CompiledProgram, fuel: u64) {
+    let mut classic_buf = TraceBuffer::new();
+    let classic = lisp::run_observed_with(compiled, Backend::Classic, fuel, &mut classic_buf)
+        .unwrap_or_else(|e| panic!("{label}: classic failed: {e}"));
+    let mut fast_buf = TraceBuffer::new();
+    let fast = lisp::run_observed_with(compiled, Backend::Fast, fuel, &mut fast_buf)
+        .unwrap_or_else(|e| panic!("{label}: fast failed: {e}"));
+    assert_outcomes_identical(label, &classic, &fast);
+    assert_eq!(
+        classic_buf.records, fast_buf.records,
+        "{label}: retirement records"
+    );
+    assert_eq!(
+        classic_buf.annotations, fast_buf.annotations,
+        "{label}: annotation/cycle sidecar"
+    );
+    assert_eq!(
+        classic_buf.squashes, fast_buf.squashes,
+        "{label}: squashed slots"
+    );
+}
+
+/// Run `compiled` on classic and fast, comparing outcomes and the stream
+/// digest (constant memory; for the big benchmark workloads).
+fn assert_stream_hash_equal(label: &str, compiled: &lisp::CompiledProgram, fuel: u64) {
+    let mut classic_hash = StreamHash::new();
+    let classic = lisp::run_observed_with(compiled, Backend::Classic, fuel, &mut classic_hash)
+        .unwrap_or_else(|e| panic!("{label}: classic failed: {e}"));
+    let mut fast_hash = StreamHash::new();
+    let fast = lisp::run_observed_with(compiled, Backend::Fast, fuel, &mut fast_hash)
+        .unwrap_or_else(|e| panic!("{label}: fast failed: {e}"));
+    assert_outcomes_identical(label, &classic, &fast);
+    assert_eq!(classic_hash, fast_hash, "{label}: retirement stream digest");
+    assert!(classic_hash.retired > 0, "{label}: empty trace");
+}
+
+/// The number of fixed synth seeds the release suite sweeps.
+const SYNTH_SEEDS: u64 = 200;
+
+/// Sweep one quarter of the synth seeds (seeds ≡ `lane` mod 4). Each seed gets
+/// a rotating generator mix and a rotating cell of the 24-config matrix, so
+/// the 200 seeds cover every cell more than eight times.
+fn synth_slice(lane: u64) {
+    let mixes = [
+        OpMix::balanced(),
+        OpMix::list_heavy(),
+        OpMix::vector_heavy(),
+        OpMix::arith_heavy(),
+    ];
+    let configs = oracle_configs();
+    // Debug builds take every eighth seed of the lane; release takes them all.
+    let step: u64 = if cfg!(debug_assertions) { 32 } else { 4 };
+    let mut seed = lane;
+    while seed < SYNTH_SEEDS {
+        let mix = &mixes[(seed as usize / 4) % mixes.len()];
+        let config = &configs[seed as usize % configs.len()];
+        let source = render(&generate(seed, mix));
+        let label = format!("synth seed {seed} under {config}");
+        let compiled = lisp::compile(&source, &config.to_options())
+            .unwrap_or_else(|e| panic!("{label}: compile failed: {e}"));
+        assert_full_trace_equal(&label, &compiled, synth::oracle::SIM_FUEL);
+        seed += step;
+    }
+}
+
+#[test]
+fn synth_seeds_lane0_identical_across_backends() {
+    synth_slice(0);
+}
+
+#[test]
+fn synth_seeds_lane1_identical_across_backends() {
+    synth_slice(1);
+}
+
+#[test]
+fn synth_seeds_lane2_identical_across_backends() {
+    synth_slice(2);
+}
+
+#[test]
+fn synth_seeds_lane3_identical_across_backends() {
+    synth_slice(3);
+}
+
+/// Sweep every benchmark under the six cells of the oracle matrix belonging
+/// to `scheme` (2 checking modes × 3 hardware levels).
+fn benchmark_slice(scheme: tagword::TagScheme) {
+    let session = Session::serial();
+    let configs: Vec<Config> = oracle_configs()
+        .into_iter()
+        .filter(|c| c.scheme == scheme)
+        .collect();
+    assert_eq!(configs.len(), 6);
+    // Debug builds cover two benchmarks on the plain-hardware cells; release
+    // covers all ten benchmarks on all six cells.
+    let debug = cfg!(debug_assertions);
+    for b in programs::all() {
+        if debug && !matches!(b.name, "trav" | "inter") {
+            continue;
+        }
+        for config in &configs {
+            if debug && config.hw != mipsx::HwConfig::plain() {
+                continue;
+            }
+            let label = format!("{} under {config}", b.name);
+            let compiled = session
+                .compile_program(b.name, *config)
+                .unwrap_or_else(|e| panic!("{label}: compile failed: {e}"));
+            assert_stream_hash_equal(&label, &compiled, programs::FUEL);
+        }
+    }
+}
+
+#[test]
+fn benchmarks_high5_identical_across_backends() {
+    benchmark_slice(tagword::TagScheme::HighTag5);
+}
+
+#[test]
+fn benchmarks_high6_identical_across_backends() {
+    benchmark_slice(tagword::TagScheme::HighTag6);
+}
+
+#[test]
+fn benchmarks_low2_identical_across_backends() {
+    benchmark_slice(tagword::TagScheme::LowTag2);
+}
+
+#[test]
+fn benchmarks_low3_identical_across_backends() {
+    benchmark_slice(tagword::TagScheme::LowTag3);
+}

@@ -7,6 +7,7 @@
 //! few billion instructions in total.
 
 use lisp::CheckingMode;
+use mipsx::Backend;
 use tagstudy::{Config, Session};
 use tagword::TagScheme;
 
@@ -20,7 +21,7 @@ fn check_scheme(scheme: TagScheme) {
             let compiled = session
                 .compile_program(b.name, config)
                 .unwrap_or_else(|e| panic!("{}/{config}: compile failed: {e}", b.name));
-            let c = conformance::check_compiled(&compiled, programs::FUEL, None)
+            let c = conformance::check_compiled(Backend::Classic, &compiled, programs::FUEL, None)
                 .unwrap_or_else(|e| panic!("{}/{config}: {e}", b.name));
             assert!(c.retired > 0, "{}/{config}: empty trace", b.name);
             assert!(
@@ -79,8 +80,10 @@ fn tag_hardware_conforms() {
                 let compiled = session
                     .compile_program(name, config)
                     .unwrap_or_else(|e| panic!("{name}/{hw_name}/{checking:?}: compile: {e}"));
-                conformance::check_compiled(&compiled, programs::FUEL, None)
-                    .unwrap_or_else(|e| panic!("{name}/{hw_name}/{checking:?}: {e}"));
+                for backend in [Backend::Classic, Backend::Fast] {
+                    conformance::check_compiled(backend, &compiled, programs::FUEL, None)
+                        .unwrap_or_else(|e| panic!("{name}/{hw_name}/{checking:?}/{backend}: {e}"));
+                }
             }
         }
     }
@@ -94,6 +97,7 @@ fn injected_bug_is_caught_on_a_workload() {
     let config = Config::baseline(CheckingMode::None);
     let compiled = session.compile_program("trav", config).expect("compiles");
     let err = conformance::check_compiled(
+        Backend::Classic,
         &compiled,
         programs::FUEL,
         Some(mipsx::Fault::AddOffByOne { nth: 500 }),

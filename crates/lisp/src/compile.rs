@@ -1,7 +1,7 @@
 //! Top-level compilation pipeline and execution helpers.
 
 use mipsx::sched::{schedule_and_attribute, ScheduleReport};
-use mipsx::{Asm, Cpu, HwConfig, Outcome, Program, SimError};
+use mipsx::{Asm, Backend, Executor, HwConfig, Outcome, Program, SimError};
 use tagword::TagScheme;
 
 use crate::codegen::Codegen;
@@ -163,28 +163,33 @@ pub fn compile(source: &str, opts: &Options) -> Result<CompiledProgram, CompileE
     })
 }
 
-/// Run a compiled program to completion under its compiled-for hardware.
+/// Run a compiled program to completion under its compiled-for hardware, on
+/// the default [`Backend`].
 ///
 /// # Errors
 ///
 /// [`SimError`] on a runaway program (`OutOfFuel`) or a code-generation bug.
 pub fn run(c: &CompiledProgram, max_cycles: u64) -> Result<Outcome, SimError> {
-    run_with_hw(c, c.hw, max_cycles)
+    run_with(c, Backend::default(), max_cycles)
 }
 
-/// Run a compiled program under an explicit hardware configuration (which must be
-/// at least as capable as the one it was compiled for).
+/// Run a compiled program on an explicit execution backend. All backends
+/// produce identical [`Outcome`]s (see [`mipsx::exec`]); the choice only
+/// affects wall-clock speed.
 ///
 /// # Errors
 ///
-/// See [`run`]; additionally [`SimError::MissingHardware`] when `hw` lacks a
-/// feature the code uses.
-pub fn run_with_hw(
+/// See [`run`]; additionally [`SimError::MissingHardware`] at predecode time
+/// if the code uses a hardware feature `c.hw` lacks (a compiler bug — the
+/// program is compiled for that configuration).
+pub fn run_with(
     c: &CompiledProgram,
-    hw: HwConfig,
+    backend: Backend,
     max_cycles: u64,
 ) -> Result<Outcome, SimError> {
-    Cpu::new(&c.program, hw, c.mem_bytes).run(max_cycles)
+    backend
+        .executor(&c.program, c.hw, c.mem_bytes)?
+        .run(max_cycles)
 }
 
 /// [`run`], reporting every retired instruction to `obs` (see
@@ -199,7 +204,24 @@ pub fn run_observed<O: mipsx::trace::Observer>(
     max_cycles: u64,
     obs: &mut O,
 ) -> Result<Outcome, SimError> {
-    Cpu::new(&c.program, c.hw, c.mem_bytes).run_observed(max_cycles, obs)
+    run_observed_with(c, Backend::default(), max_cycles, obs)
+}
+
+/// [`run_observed`] on an explicit execution backend: the backend-equivalence
+/// suite compares the retirement streams this produces across backends.
+///
+/// # Errors
+///
+/// See [`run_with`] and [`run_observed`].
+pub fn run_observed_with<O: mipsx::trace::Observer>(
+    c: &CompiledProgram,
+    backend: Backend,
+    max_cycles: u64,
+    obs: &mut O,
+) -> Result<Outcome, SimError> {
+    backend
+        .executor(&c.program, c.hw, c.mem_bytes)?
+        .run_observed(max_cycles, obs)
 }
 
 #[cfg(test)]

@@ -475,7 +475,11 @@ impl<'u> Interp<'u> {
                 match &vals[0] {
                     Value::Pair(cell) => {
                         let pair = cell.borrow();
-                        Ok(if p == Car { pair.0.clone() } else { pair.1.clone() })
+                        Ok(if p == Car {
+                            pair.0.clone()
+                        } else {
+                            pair.1.clone()
+                        })
                     }
                     _ => Err(Stop::Trap(exit_code::ERR_CAR)),
                 }
@@ -744,12 +748,8 @@ impl<'u> Interp<'u> {
     fn numbers(&mut self, a: &Value, b: &Value) -> R<Nums> {
         match (a, b) {
             (Value::Int(x), Value::Int(y)) => Ok(Nums::Ints(*x as i64, *y as i64)),
-            (Value::Int(x), Value::Float(y)) => {
-                Ok(Nums::Floats(*x as f32, f32::from_bits(**y)))
-            }
-            (Value::Float(x), Value::Int(y)) => {
-                Ok(Nums::Floats(f32::from_bits(**x), *y as f32))
-            }
+            (Value::Int(x), Value::Float(y)) => Ok(Nums::Floats(*x as f32, f32::from_bits(**y))),
+            (Value::Float(x), Value::Int(y)) => Ok(Nums::Floats(f32::from_bits(**x), *y as f32)),
             (Value::Float(x), Value::Float(y)) => {
                 Ok(Nums::Floats(f32::from_bits(**x), f32::from_bits(**y)))
             }
@@ -828,10 +828,7 @@ mod tests {
         assert_eq!(run("(quotient 1 0)").halt_code, exit_code::ERR_DIV0);
         assert_eq!(run("(car 5)").halt_code, exit_code::ERR_CAR);
         assert_eq!(run("(plus 'a 1)").halt_code, exit_code::ERR_ARITH);
-        assert_eq!(
-            run("(getv (mkvect 2) 7)").halt_code,
-            exit_code::ERR_BOUNDS
-        );
+        assert_eq!(run("(getv (mkvect 2) 7)").halt_code, exit_code::ERR_BOUNDS);
         assert_eq!(run("(funcall 'no-def 1)").halt_code, exit_code::ERR_FUNCALL);
         let max = (1i64 << 26) - 1; // high5: 27-bit fixnums
         assert_eq!(
@@ -886,8 +883,11 @@ mod tests {
             ..EvalOptions::default()
         };
         assert_eq!(
-            eval_source("(defvar i 0) (while (lessp i 1000) (setq i (add1 i)))", &thirsty)
-                .unwrap_err(),
+            eval_source(
+                "(defvar i 0) (while (lessp i 1000) (setq i (add1 i)))",
+                &thirsty
+            )
+            .unwrap_err(),
             EvalError::Fuel
         );
     }

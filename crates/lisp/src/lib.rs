@@ -48,11 +48,11 @@ mod sexp;
 mod tagops;
 
 pub use compile::{
-    compile, run, run_observed, run_with_hw, CompileStats, CompiledProgram, Options,
+    compile, run, run_observed, run_observed_with, run_with, CompileStats, CompiledProgram, Options,
 };
 pub use error::CompileError;
 pub use front::{lower_sources, CheckingMode};
-pub use mipsx::{Outcome, SimError};
+pub use mipsx::{Backend, Executor, Outcome, SimError};
 pub use prelude::PRELUDE;
 pub use runtime::exit_code;
 pub use sexp::{parse_all, parse_one, Sexp};

@@ -510,7 +510,7 @@ fn label_id(l: Label) -> u32 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mipsx::{Cpu, Outcome};
+    use mipsx::{Cpu, Executor, Outcome};
 
     fn ops(scheme: TagScheme, hw: HwConfig) -> TagOps {
         TagOps {

@@ -3,13 +3,14 @@
 use std::fmt;
 
 use crate::annot::Annot;
+use crate::exec::Executor;
 use crate::hw::{HwConfig, ParallelCheck};
 use crate::insn::{Insn, WriteKind};
 use crate::mem::Mem;
 use crate::program::Program;
 use crate::reg::Reg;
 use crate::stats::{InsnClass, Stats};
-use crate::trace::{MemOp, NoTrace, Observer, Retirement};
+use crate::trace::{MemOp, Observer, Retirement};
 
 /// Simulation failures. These indicate bugs in generated code (or an exhausted
 /// cycle budget), never ordinary program behaviour.
@@ -121,7 +122,18 @@ pub struct Cpu<'p> {
 impl<'p> Cpu<'p> {
     /// Build a CPU for `prog` with `hw` support and `mem_bytes` of data memory,
     /// applying the program's initial data image.
+    ///
+    /// # Panics
+    ///
+    /// If `prog.annots` is not parallel to `prog.insns` — the assembler
+    /// guarantees this; hand-built programs must supply one [`Annot`] per
+    /// instruction (a shorter array would silently misattribute cycles).
     pub fn new(prog: &'p Program, hw: HwConfig, mem_bytes: usize) -> Self {
+        assert_eq!(
+            prog.annots.len(),
+            prog.insns.len(),
+            "program annots must parallel insns (one Annot per instruction)"
+        );
         let mut mem = Mem::new(mem_bytes);
         for &(addr, word) in &prog.data {
             assert!(
@@ -169,7 +181,9 @@ impl<'p> Cpu<'p> {
 
     fn fetch(&self, pc: usize) -> Result<(Insn, Annot), SimError> {
         match self.prog.insns.get(pc) {
-            Some(i) => Ok((*i, self.prog.annots.get(pc).copied().unwrap_or(Annot::NONE))),
+            // annots is parallel to insns (asserted in `new`), so index directly
+            // instead of silently substituting Annot::NONE on a mismatch.
+            Some(i) => Ok((*i, self.prog.annots[pc])),
             None => Err(SimError::PcOutOfRange { pc }),
         }
     }
@@ -546,26 +560,13 @@ impl<'p> Cpu<'p> {
         }
         self.exec_simple(pc, insn, annot, obs)
     }
+}
 
-    /// Run until `halt`, a simulation error, or the cycle budget is exhausted.
-    ///
-    /// # Errors
-    ///
-    /// Any [`SimError`]; see its variants. A normal `halt` is not an error.
-    pub fn run(&mut self, max_cycles: u64) -> Result<Outcome, SimError> {
-        self.run_observed(max_cycles, &mut NoTrace)
-    }
-
-    /// [`run`](Cpu::run), reporting every retired instruction to `obs`.
-    ///
-    /// With [`NoTrace`] this monomorphizes to exactly the untraced loop; see
-    /// the [`trace`](crate::trace) module docs.
-    ///
-    /// # Errors
-    ///
-    /// Any [`SimError`], including [`SimError::Stopped`] if the observer
-    /// breaks out of the run.
-    pub fn run_observed<O: Observer>(
+impl Executor for Cpu<'_> {
+    /// The classic one-pass drive loop: fetch, hardware-gate, classify, and
+    /// attribute on every step. See [`crate::FastCpu`] for the predecoded
+    /// equivalent; the two produce byte-identical results.
+    fn run_observed<O: Observer>(
         &mut self,
         max_cycles: u64,
         obs: &mut O,
@@ -699,6 +700,14 @@ impl<'p> Cpu<'p> {
 
             self.pc = if taken { target } else { pc + 1 + slots };
         }
+    }
+
+    fn regs(&self) -> &[u32; 32] {
+        &self.regs
+    }
+
+    fn mem(&self) -> &Mem {
+        &self.mem
     }
 }
 
@@ -1154,6 +1163,20 @@ mod tests {
         let o = Cpu::new(&prog, hw, 1 << 16).run(1000).unwrap();
         assert_eq!(o.halt_code, -7);
         assert_eq!(o.stats.traps, 1);
+    }
+
+    /// Regression: a `Program` whose `annots` is shorter than `insns` used to
+    /// be accepted, with missing entries silently read as `Annot::NONE` —
+    /// misattributing every affected cycle. Construction now rejects it.
+    #[test]
+    #[should_panic(expected = "annots must parallel insns")]
+    fn mismatched_annots_are_rejected_at_construction() {
+        let prog = Program {
+            insns: vec![Insn::Nop, Insn::Halt(Reg::Zero)],
+            annots: vec![Annot::NONE], // one short
+            ..Program::default()
+        };
+        let _ = Cpu::new(&prog, HwConfig::plain(), 1 << 12);
     }
 
     #[test]

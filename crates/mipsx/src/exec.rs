@@ -1,0 +1,1562 @@
+//! The execution-backend API: the [`Executor`] trait, the [`Backend`]
+//! selector, and the predecoded fast interpreter ([`FastCpu`]).
+//!
+//! # Why a second interpreter
+//!
+//! The classic [`Cpu`] re-derives per-instruction facts on every step: it
+//! looks up the instruction's [`Annot`], classifies it, checks hardware
+//! availability, and charges statistics through three `HashMap` entry
+//! operations per retirement. None of that depends on run-time state — it is
+//! all a pure function of `(Program, HwConfig)`. [`DecodedProgram::decode`]
+//! therefore lowers the program **once** into a dense array of micro-ops
+//! ([`FastCpu`]'s internal `Op`) with everything pre-resolved:
+//!
+//! - hardware-feature availability: an instruction needing absent hardware is
+//!   a *predecode* error ([`SimError::MissingHardware`] from `decode`), not a
+//!   per-step branch;
+//! - the annotation, instruction class, and statistics slots (dense array
+//!   indices replacing the `HashMap` keys);
+//! - the retirement cost in cycles (multiply/divide/float costs folded in);
+//! - branch shapes: delay-slot counts, squash behaviour, link registers, and
+//!   tag-clearing masks for checked accesses;
+//! - the register-use set as a bitmask, so the load-delay check is two ANDs.
+//!
+//! The dispatch loop then matches on the dense micro-op enum (a jump table)
+//! and pays only two counter bumps per retirement — the running cycle count
+//! (needed for fuel checks and observer stamps) and a per-pc execution
+//! count. Everything else in [`Stats`] is a linear function of those counts
+//! and the predecoded op metadata, so it is reconstructed exactly when the
+//! run completes (trap penalties, which are rare and data-dependent, are
+//! accumulated directly as they happen). The [`Observer`] hook stays
+//! monomorphized behind [`Observer::ENABLED`] exactly as in the classic
+//! loop, so the unobserved path compiles to the plain loop.
+//!
+//! # Equivalence contract
+//!
+//! For any program that the classic interpreter runs to completion (`Ok` or
+//! `Err`), [`FastCpu`] produces **byte-identical** results: the same
+//! [`Outcome`] (halt code, output, and `Stats`, including every map entry),
+//! the same retirement/squash event stream, and the same errors — with one
+//! deliberate exception: `MissingHardware` is reported by
+//! [`DecodedProgram::decode`] for the lowest-pc offending instruction even if
+//! that instruction would never have executed. The `conformance` crate's
+//! backend differential suite holds the two interpreters to this contract.
+//!
+//! [`RefCpu`] also implements [`Executor`] by driving its single-step
+//! interpreter in a loop and rebuilding the statistics from the retirement
+//! stream (cycle accounting is purely architectural). Two caveats, both
+//! documented on [`RefCpu`]: it does not enforce the load-delay rule, and on
+//! error paths the event stream may be truncated slightly differently.
+
+use std::fmt;
+
+use crate::annot::{Annot, CheckCat, Provenance, TagOpKind, ALL_CHECK_CATS, ALL_TAG_OPS};
+use crate::cpu::{Cpu, Outcome, SimError};
+use crate::hw::{HwConfig, ParallelCheck};
+use crate::insn::{Cond, FpOp, Insn, IntTest, TagField, WriteKind};
+use crate::mem::Mem;
+use crate::program::Program;
+use crate::refcpu::RefCpu;
+use crate::reg::Reg;
+use crate::stats::{InsnClass, Stats, ALL_CLASSES};
+use crate::trace::{MemOp, NoTrace, Observer, Retirement};
+
+/// A simulation backend: anything that can run a program to an [`Outcome`]
+/// while reporting retirements to an [`Observer`].
+///
+/// All three interpreters ([`Cpu`], [`FastCpu`], [`RefCpu`]) implement this
+/// trait, so harnesses, studies, and the profiler drive any backend through
+/// one API. Construct a backend generically with [`Backend::executor`].
+pub trait Executor {
+    /// Run until `halt`, a simulation error, or the cycle budget is
+    /// exhausted, reporting every retired instruction to `obs`.
+    ///
+    /// With [`NoTrace`] this monomorphizes to exactly the untraced loop.
+    ///
+    /// # Errors
+    ///
+    /// Any [`SimError`], including [`SimError::Stopped`] if the observer
+    /// breaks out of the run. A normal `halt` is not an error.
+    fn run_observed<O: Observer>(
+        &mut self,
+        max_cycles: u64,
+        obs: &mut O,
+    ) -> Result<Outcome, SimError>;
+
+    /// [`run_observed`](Executor::run_observed) without an observer.
+    ///
+    /// # Errors
+    ///
+    /// Any [`SimError`] except [`SimError::Stopped`].
+    fn run(&mut self, max_cycles: u64) -> Result<Outcome, SimError> {
+        self.run_observed(max_cycles, &mut NoTrace)
+    }
+
+    /// The register file (for post-run comparison).
+    fn regs(&self) -> &[u32; 32];
+
+    /// The data memory (for post-run inspection).
+    fn mem(&self) -> &Mem;
+}
+
+/// Which interpreter executes a program.
+///
+/// All backends produce identical results by construction (the conformance
+/// suite enforces it), so the choice only affects host-side speed — which is
+/// why measurement cache keys and store content addresses deliberately
+/// exclude it.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum Backend {
+    /// The classic one-pass interpreter ([`Cpu`]).
+    Classic,
+    /// The predecoded micro-op interpreter ([`FastCpu`]) — the default.
+    #[default]
+    Fast,
+    /// The deliberately naive reference interpreter ([`RefCpu`]), driven
+    /// step-wise; slowest, but independent of the pipelined machinery.
+    Ref,
+}
+
+/// All backends, in report order.
+pub const ALL_BACKENDS: [Backend; 3] = [Backend::Classic, Backend::Fast, Backend::Ref];
+
+impl Backend {
+    /// The canonical lower-case name (`classic`, `fast`, `ref`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Backend::Classic => "classic",
+            Backend::Fast => "fast",
+            Backend::Ref => "ref",
+        }
+    }
+
+    /// Parse a backend name (case-insensitive); `None` for unknown names.
+    pub fn from_name(name: &str) -> Option<Backend> {
+        match name.to_ascii_lowercase().as_str() {
+            "classic" => Some(Backend::Classic),
+            "fast" => Some(Backend::Fast),
+            "ref" => Some(Backend::Ref),
+            _ => None,
+        }
+    }
+
+    /// Build an executor of this kind for `prog`, mirroring [`Cpu::new`].
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::MissingHardware`] from predecode when the fast backend is
+    /// selected and the program contains an instruction `hw` cannot execute.
+    pub fn executor<'p>(
+        self,
+        prog: &'p Program,
+        hw: HwConfig,
+        mem_bytes: usize,
+    ) -> Result<AnyExecutor<'p>, SimError> {
+        Ok(match self {
+            Backend::Classic => AnyExecutor::Classic(Cpu::new(prog, hw, mem_bytes)),
+            Backend::Fast => AnyExecutor::Fast(FastCpu::new(prog, hw, mem_bytes)?),
+            Backend::Ref => AnyExecutor::Ref(RefCpu::new(prog, hw, mem_bytes)),
+        })
+    }
+}
+
+impl fmt::Display for Backend {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A backend chosen at run time: the [`Executor`] trait object-ified as an
+/// enum (the trait itself is not object-safe because `run_observed` is
+/// generic over the observer).
+#[derive(Debug)]
+pub enum AnyExecutor<'p> {
+    /// The classic interpreter.
+    Classic(Cpu<'p>),
+    /// The predecoded interpreter.
+    Fast(FastCpu<'p>),
+    /// The reference interpreter.
+    Ref(RefCpu<'p>),
+}
+
+impl Executor for AnyExecutor<'_> {
+    fn run_observed<O: Observer>(
+        &mut self,
+        max_cycles: u64,
+        obs: &mut O,
+    ) -> Result<Outcome, SimError> {
+        match self {
+            AnyExecutor::Classic(c) => c.run_observed(max_cycles, obs),
+            AnyExecutor::Fast(c) => c.run_observed(max_cycles, obs),
+            AnyExecutor::Ref(c) => c.run_observed(max_cycles, obs),
+        }
+    }
+
+    fn regs(&self) -> &[u32; 32] {
+        match self {
+            AnyExecutor::Classic(c) => c.regs(),
+            AnyExecutor::Fast(c) => c.regs(),
+            AnyExecutor::Ref(c) => c.regs(),
+        }
+    }
+
+    fn mem(&self) -> &Mem {
+        match self {
+            AnyExecutor::Classic(c) => c.mem(),
+            AnyExecutor::Fast(c) => c.mem(),
+            AnyExecutor::Ref(c) => c.mem(),
+        }
+    }
+}
+
+/// "No dense-statistics slot": this op touches no tag/category counter.
+const NO_SLOT: u8 = u8::MAX;
+
+/// Number of `(TagOpKind, Provenance)` slots.
+const TAG_SLOTS: usize = ALL_TAG_OPS.len() * 2;
+
+/// The annotation every generic-arithmetic trap is charged to (dispatch work,
+/// regardless of the fast path's annotation) — mirrors the classic
+/// interpreter's constant.
+const GEN_TRAP_ANNOT: Annot = Annot {
+    tag_op: Some(TagOpKind::Generic),
+    cat: CheckCat::Arith,
+    prov: Provenance::Checking,
+};
+
+fn class_slot(class: InsnClass) -> u8 {
+    ALL_CLASSES
+        .iter()
+        .position(|c| *c == class)
+        .expect("every class is in ALL_CLASSES") as u8
+}
+
+fn prov_slot(prov: Provenance) -> u8 {
+    match prov {
+        Provenance::Base => 0,
+        Provenance::Checking => 1,
+    }
+}
+
+fn tag_slot(annot: Annot) -> u8 {
+    match annot.tag_op {
+        None => NO_SLOT,
+        Some(op) => {
+            let op_idx = ALL_TAG_OPS
+                .iter()
+                .position(|o| *o == op)
+                .expect("every tag op is in ALL_TAG_OPS") as u8;
+            op_idx * 2 + prov_slot(annot.prov)
+        }
+    }
+}
+
+fn cat_slot(annot: Annot) -> u8 {
+    if annot.prov != Provenance::Checking {
+        return NO_SLOT;
+    }
+    ALL_CHECK_CATS
+        .iter()
+        .position(|c| *c == annot.cat)
+        .expect("every category is in ALL_CHECK_CATS") as u8
+}
+
+/// [`Stats`] as flat arrays: the hot-loop accumulator. Converted back to the
+/// `HashMap` form (inserting only the touched entries, so the result is
+/// byte-identical to classic accounting) when the run finishes.
+#[derive(Debug, Clone, Default)]
+struct DenseStats {
+    cycles: u64,
+    committed: u64,
+    squashed: u64,
+    trap_cycles: u64,
+    traps: u64,
+    class_counts: [u64; ALL_CLASSES.len()],
+    tag_cycles: [u64; TAG_SLOTS],
+    /// Bit per tag slot: the classic accounting creates a map entry even when
+    /// it adds zero cycles (a zero trap penalty), so "touched" is tracked
+    /// separately from "non-zero".
+    tag_touched: u16,
+    cat_cycles: [u64; ALL_CHECK_CATS.len()],
+    cat_touched: u8,
+}
+
+impl DenseStats {
+    #[inline(always)]
+    fn attribute(&mut self, tag: u8, cat: u8, cycles: u64) {
+        if tag != NO_SLOT {
+            self.tag_cycles[tag as usize] += cycles;
+            self.tag_touched |= 1 << tag;
+        }
+        if cat != NO_SLOT {
+            self.cat_cycles[cat as usize] += cycles;
+            self.cat_touched |= 1 << cat;
+        }
+    }
+
+    /// Per-retirement accounting, one call per committed op. The dispatch
+    /// loop does not use this — it bumps a per-pc execution counter and
+    /// reconstructs the same totals in [`DenseStats::fold_counts`] — but the
+    /// equivalence test below uses it as the reference accumulator.
+    #[cfg(test)]
+    fn record(&mut self, class: u8, tag: u8, cat: u8, cycles: u64) {
+        self.cycles += cycles;
+        self.committed += 1;
+        self.class_counts[class as usize] += 1;
+        self.attribute(tag, cat, cycles);
+    }
+
+    #[cfg(test)]
+    fn record_squashed(&mut self, tag: u8, cat: u8) {
+        self.cycles += 1;
+        self.squashed += 1;
+        self.attribute(tag, cat, 1);
+    }
+
+    /// Fold the per-pc retirement and squash counters into the accumulator:
+    /// each committed execution of an op contributes its class, its cost to
+    /// its tag/category slots, and `committed`; each squashed slot
+    /// contributes one cycle against the owning branch's slots. Exactly what
+    /// per-retirement `Stats::record`/`record_squashed` calls would have
+    /// accumulated — but the hot loop only paid one counter bump per op
+    /// (trap penalties are rare and recorded directly as they happen).
+    fn fold_counts(&self, decoded: &DecodedProgram, counts: &[u64], squashes: &[u64]) -> Stats {
+        let mut agg = self.clone();
+        for (pc, op) in decoded.ops.iter().enumerate() {
+            let n = counts[pc];
+            if n > 0 {
+                agg.committed += n;
+                agg.class_counts[op.class as usize] += n;
+                agg.attribute(op.tag, op.cat, n * u64::from(op.cost));
+            }
+            let s = squashes[pc];
+            if s > 0 {
+                agg.squashed += s;
+                agg.attribute(op.tag, op.cat, s);
+            }
+        }
+        agg.to_stats()
+    }
+
+    fn record_trap(&mut self, tag: u8, cat: u8, penalty: u64) {
+        self.cycles += penalty;
+        self.trap_cycles += penalty;
+        self.traps += 1;
+        self.attribute(tag, cat, penalty);
+    }
+
+    fn to_stats(&self) -> Stats {
+        let mut s = Stats {
+            cycles: self.cycles,
+            committed: self.committed,
+            squashed: self.squashed,
+            trap_cycles: self.trap_cycles,
+            traps: self.traps,
+            ..Stats::default()
+        };
+        for (i, &n) in self.class_counts.iter().enumerate() {
+            if n > 0 {
+                s.class_counts.insert(ALL_CLASSES[i], n);
+            }
+        }
+        for (slot, &cycles) in self.tag_cycles.iter().enumerate() {
+            if self.tag_touched & (1 << slot) != 0 {
+                let prov = if slot % 2 == 0 {
+                    Provenance::Base
+                } else {
+                    Provenance::Checking
+                };
+                s.tag_cycles.insert((ALL_TAG_OPS[slot / 2], prov), cycles);
+            }
+        }
+        for (slot, &cat) in ALL_CHECK_CATS.iter().enumerate() {
+            if self.cat_touched & (1 << slot) != 0 {
+                s.check_cat_cycles.insert(cat, self.cat_cycles[slot]);
+            }
+        }
+        s
+    }
+}
+
+/// A conditional branch's condition, with operand shape resolved.
+#[derive(Debug, Clone, Copy)]
+enum BrCond {
+    /// Register-register compare ([`Insn::Br`]).
+    RegReg(Cond, Reg, Reg),
+    /// Register-immediate compare ([`Insn::Bri`]), immediate pre-widened.
+    RegImm(Cond, Reg, u32),
+    /// Tag-field compare ([`Insn::TagBr`]) — only decoded when the hardware
+    /// has the tag-branch unit.
+    Tag {
+        rs: Reg,
+        field: TagField,
+        value: u32,
+        neq: bool,
+    },
+}
+
+/// One predecoded micro-op. Variants mirror [`Insn`] but with immediates
+/// pre-widened, hardware gates resolved away, checked-access clear masks
+/// precomputed, and control transfers lowered to three resolved shapes.
+#[derive(Debug, Clone, Copy)]
+enum OpKind {
+    Add(Reg, Reg, Reg),
+    Sub(Reg, Reg, Reg),
+    And(Reg, Reg, Reg),
+    Or(Reg, Reg, Reg),
+    Xor(Reg, Reg, Reg),
+    Slt(Reg, Reg, Reg),
+    Addi(Reg, Reg, u32),
+    Andi(Reg, Reg, u32),
+    Ori(Reg, Reg, u32),
+    Xori(Reg, Reg, u32),
+    Sll(Reg, Reg, u8),
+    Srl(Reg, Reg, u8),
+    Sra(Reg, Reg, u8),
+    Li(Reg, u32),
+    Mov(Reg, Reg),
+    Fop(FpOp, Reg, Reg, Reg),
+    Mul(Reg, Reg, Reg),
+    Div(Reg, Reg, Reg),
+    Rem(Reg, Reg, Reg),
+    Ld(Reg, Reg, u32),
+    St {
+        src: Reg,
+        base: Reg,
+        disp: u32,
+    },
+    LdChk {
+        rd: Reg,
+        base: Reg,
+        disp: u32,
+        field: TagField,
+        expect: u32,
+        /// `!(field.mask << field.shift)`: AND-mask clearing the tag bits
+        /// during address calculation.
+        clear: u32,
+        on_fail: u32,
+    },
+    StChk {
+        src: Reg,
+        base: Reg,
+        disp: u32,
+        field: TagField,
+        expect: u32,
+        clear: u32,
+        on_fail: u32,
+    },
+    GenArith {
+        sub: bool,
+        rd: Reg,
+        rs: Reg,
+        rt: Reg,
+        int_test: IntTest,
+        on_fail: u32,
+    },
+    Nop,
+    Write(Reg, WriteKind),
+    Halt(Reg),
+    /// Conditional branch: two delay slots, squash behaviour resolved.
+    CondBr {
+        cond: BrCond,
+        target: u32,
+        squash: bool,
+    },
+    /// Direct jump (J/Jal): one delay slot, link register resolved.
+    Jump {
+        target: u32,
+        link: Option<Reg>,
+    },
+    /// Indirect jump (Jr/Jalr): one delay slot.
+    JumpReg {
+        r: Reg,
+        link: Option<Reg>,
+    },
+}
+
+impl OpKind {
+    #[inline(always)]
+    fn is_control(self) -> bool {
+        matches!(
+            self,
+            OpKind::CondBr { .. } | OpKind::Jump { .. } | OpKind::JumpReg { .. }
+        )
+    }
+}
+
+/// One micro-op with its fused metadata.
+#[derive(Debug, Clone, Copy)]
+struct Op {
+    kind: OpKind,
+    /// The instruction's annotation (reported to observers).
+    annot: Annot,
+    /// Dense [`ALL_CLASSES`] index.
+    class: u8,
+    /// Dense `(tag op, provenance)` slot, or [`NO_SLOT`].
+    tag: u8,
+    /// Dense checking-category slot, or [`NO_SLOT`].
+    cat: u8,
+    /// Retirement cost in cycles (multiply/divide/float resolved).
+    cost: u32,
+    /// Registers read, as a bitmask over register indices (r0 excluded).
+    use_mask: u32,
+}
+
+/// A program lowered to micro-ops for one hardware configuration.
+///
+/// Produced by [`DecodedProgram::decode`]; executed by [`FastCpu`]. The
+/// lowering is pure, so a decoded program can be cloned and reused across
+/// runs.
+#[derive(Debug, Clone)]
+pub struct DecodedProgram {
+    ops: Vec<Op>,
+    entry: usize,
+    address_mask: u32,
+    trap_penalty: u64,
+}
+
+impl DecodedProgram {
+    /// Lower `prog` for `hw`. See the [module docs](self) for what is
+    /// resolved at predecode time.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::MissingHardware`] at the lowest pc whose instruction
+    /// requires a feature `hw` does not provide — even if that instruction
+    /// would never execute (the one place predecode is stricter than the
+    /// classic interpreter).
+    ///
+    /// # Panics
+    ///
+    /// If `prog.annots` is not parallel to `prog.insns` (the assembler
+    /// guarantees it; hand-built programs must too).
+    pub fn decode(prog: &Program, hw: HwConfig) -> Result<DecodedProgram, SimError> {
+        assert_eq!(
+            prog.annots.len(),
+            prog.insns.len(),
+            "program annots must parallel insns (one Annot per instruction)"
+        );
+        let mut ops = Vec::with_capacity(prog.insns.len());
+        for (pc, &insn) in prog.insns.iter().enumerate() {
+            ops.push(decode_one(pc, insn, prog.annots[pc], hw)?);
+        }
+        Ok(DecodedProgram {
+            ops,
+            entry: prog.entry,
+            address_mask: hw.address_mask(),
+            trap_penalty: u64::from(hw.trap_penalty),
+        })
+    }
+
+    /// Number of micro-ops (= instructions).
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the program is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+}
+
+fn decode_one(pc: usize, insn: Insn, annot: Annot, hw: HwConfig) -> Result<Op, SimError> {
+    let mut cost = 1u32;
+    let kind = match insn {
+        Insn::Add(d, a, b) => OpKind::Add(d, a, b),
+        Insn::Sub(d, a, b) => OpKind::Sub(d, a, b),
+        Insn::And(d, a, b) => OpKind::And(d, a, b),
+        Insn::Or(d, a, b) => OpKind::Or(d, a, b),
+        Insn::Xor(d, a, b) => OpKind::Xor(d, a, b),
+        Insn::Slt(d, a, b) => OpKind::Slt(d, a, b),
+        Insn::Addi(d, a, i) => OpKind::Addi(d, a, i as u32),
+        Insn::Andi(d, a, i) => OpKind::Andi(d, a, i),
+        Insn::Ori(d, a, i) => OpKind::Ori(d, a, i),
+        Insn::Xori(d, a, i) => OpKind::Xori(d, a, i),
+        Insn::Sll(d, a, s) => OpKind::Sll(d, a, s & 31),
+        Insn::Srl(d, a, s) => OpKind::Srl(d, a, s & 31),
+        Insn::Sra(d, a, s) => OpKind::Sra(d, a, s & 31),
+        Insn::Li(d, i) => OpKind::Li(d, i as u32),
+        Insn::Mov(d, a) => OpKind::Mov(d, a),
+        Insn::Fop(op, d, a, b) => {
+            cost = hw.fp_cycles;
+            OpKind::Fop(op, d, a, b)
+        }
+        Insn::Mul(d, a, b) => {
+            cost = hw.mul_cycles;
+            OpKind::Mul(d, a, b)
+        }
+        Insn::Div(d, a, b) => {
+            cost = hw.div_cycles;
+            OpKind::Div(d, a, b)
+        }
+        Insn::Rem(d, a, b) => {
+            cost = hw.div_cycles;
+            OpKind::Rem(d, a, b)
+        }
+        Insn::Ld(d, base, disp) => OpKind::Ld(d, base, disp as u32),
+        Insn::St { src, base, disp } => OpKind::St {
+            src,
+            base,
+            disp: disp as u32,
+        },
+        Insn::LdChk {
+            rd,
+            base,
+            disp,
+            field,
+            expect,
+            on_fail,
+        } => {
+            if hw.parallel_check == ParallelCheck::None {
+                return Err(SimError::MissingHardware {
+                    pc,
+                    feature: "parallel tag check",
+                });
+            }
+            OpKind::LdChk {
+                rd,
+                base,
+                disp: disp as u32,
+                field,
+                expect,
+                clear: !(field.mask << field.shift),
+                on_fail,
+            }
+        }
+        Insn::StChk {
+            src,
+            base,
+            disp,
+            field,
+            expect,
+            on_fail,
+        } => {
+            if hw.parallel_check == ParallelCheck::None {
+                return Err(SimError::MissingHardware {
+                    pc,
+                    feature: "parallel tag check",
+                });
+            }
+            OpKind::StChk {
+                src,
+                base,
+                disp: disp as u32,
+                field,
+                expect,
+                clear: !(field.mask << field.shift),
+                on_fail,
+            }
+        }
+        Insn::AddG {
+            rd,
+            rs,
+            rt,
+            int_test,
+            on_fail,
+        }
+        | Insn::SubG {
+            rd,
+            rs,
+            rt,
+            int_test,
+            on_fail,
+        } => {
+            if !hw.generic_arith {
+                return Err(SimError::MissingHardware {
+                    pc,
+                    feature: "generic arithmetic",
+                });
+            }
+            OpKind::GenArith {
+                sub: matches!(insn, Insn::SubG { .. }),
+                rd,
+                rs,
+                rt,
+                int_test,
+                on_fail,
+            }
+        }
+        Insn::Nop => OpKind::Nop,
+        Insn::Write(r, kind) => OpKind::Write(r, kind),
+        Insn::Halt(r) => OpKind::Halt(r),
+        Insn::Br {
+            cond,
+            rs,
+            rt,
+            target,
+            squash,
+        } => OpKind::CondBr {
+            cond: BrCond::RegReg(cond, rs, rt),
+            target,
+            squash,
+        },
+        Insn::Bri {
+            cond,
+            rs,
+            imm,
+            target,
+            squash,
+        } => OpKind::CondBr {
+            cond: BrCond::RegImm(cond, rs, imm as u32),
+            target,
+            squash,
+        },
+        Insn::TagBr {
+            rs,
+            field,
+            value,
+            neq,
+            target,
+            squash,
+        } => {
+            if !hw.tag_branch {
+                return Err(SimError::MissingHardware {
+                    pc,
+                    feature: "tag branch",
+                });
+            }
+            OpKind::CondBr {
+                cond: BrCond::Tag {
+                    rs,
+                    field,
+                    value,
+                    neq,
+                },
+                target,
+                squash,
+            }
+        }
+        Insn::J(t) => OpKind::Jump {
+            target: t,
+            link: None,
+        },
+        Insn::Jal(t, link) => OpKind::Jump {
+            target: t,
+            link: Some(link),
+        },
+        Insn::Jr(r) => OpKind::JumpReg { r, link: None },
+        Insn::Jalr(r, link) => OpKind::JumpReg {
+            r,
+            link: Some(link),
+        },
+    };
+    let mut use_mask = 0u32;
+    for r in insn.uses() {
+        use_mask |= 1 << r.index();
+    }
+    Ok(Op {
+        kind,
+        annot,
+        class: class_slot(InsnClass::of(insn)),
+        tag: tag_slot(annot),
+        cat: cat_slot(annot),
+        cost,
+        use_mask,
+    })
+}
+
+enum Flow {
+    Next,
+    Halt(i32),
+    Trap { target: usize },
+}
+
+/// The predecoded interpreter: [`DecodedProgram`] micro-ops driven by a dense
+/// dispatch loop. The default [`Backend`]. See the [module docs](self).
+#[derive(Debug)]
+pub struct FastCpu<'p> {
+    /// Kept for observer events (retirements carry the original [`Insn`]).
+    prog: &'p Program,
+    decoded: DecodedProgram,
+    regs: [u32; 32],
+    mem: Mem,
+    pc: usize,
+    stats: DenseStats,
+    /// Committed executions per pc; folded into [`Stats`] at halt (one
+    /// counter bump per retirement instead of the full attribution).
+    counts: Vec<u64>,
+    /// Squashed delay slots per *branch* pc (squashes are attributed to the
+    /// branch that owns the slot).
+    squash_counts: Vec<u64>,
+    output: String,
+    /// Register written by the immediately preceding load, as a bitmask
+    /// (0 = none): the load-delay check is `use_mask & pending_load`.
+    pending_load: u32,
+}
+
+impl<'p> FastCpu<'p> {
+    /// Predecode `prog` for `hw` and build an interpreter over it, mirroring
+    /// [`Cpu::new`] (same memory size, same initial data image).
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::MissingHardware`] from [`DecodedProgram::decode`].
+    pub fn new(prog: &'p Program, hw: HwConfig, mem_bytes: usize) -> Result<Self, SimError> {
+        let decoded = DecodedProgram::decode(prog, hw)?;
+        Ok(FastCpu::from_decoded(prog, decoded, mem_bytes))
+    }
+
+    /// Build an interpreter from an already-decoded program. `decoded` must
+    /// have been produced by [`DecodedProgram::decode`] from this same `prog`
+    /// (reusing a decoded program across runs skips the predecode pass).
+    pub fn from_decoded(prog: &'p Program, decoded: DecodedProgram, mem_bytes: usize) -> Self {
+        assert_eq!(
+            decoded.ops.len(),
+            prog.insns.len(),
+            "decoded program must match the source program"
+        );
+        let mut mem = Mem::new(mem_bytes);
+        for &(addr, word) in &prog.data {
+            assert!(
+                mem.store(addr, word),
+                "data image outside memory: {addr:#x}"
+            );
+        }
+        let nops = decoded.ops.len();
+        FastCpu {
+            prog,
+            pc: decoded.entry,
+            decoded,
+            regs: [0; 32],
+            mem,
+            stats: DenseStats::default(),
+            counts: vec![0; nops],
+            squash_counts: vec![0; nops],
+            output: String::new(),
+            pending_load: 0,
+        }
+    }
+
+    /// Read a register (r0 reads zero).
+    #[inline(always)]
+    pub fn reg(&self, r: Reg) -> u32 {
+        if r == Reg::Zero {
+            0
+        } else {
+            self.regs[r.index()]
+        }
+    }
+
+    #[inline(always)]
+    fn set_reg(&mut self, r: Reg, v: u32) {
+        if r != Reg::Zero {
+            self.regs[r.index()] = v;
+        }
+    }
+
+    /// The register file (for post-run comparison).
+    pub fn regs(&self) -> &[u32; 32] {
+        &self.regs
+    }
+
+    /// The data memory (for post-run inspection).
+    pub fn mem(&self) -> &Mem {
+        &self.mem
+    }
+
+    #[inline(always)]
+    fn check_load_delay(&self, pc: usize, op: &Op) -> Result<(), SimError> {
+        if op.use_mask & self.pending_load != 0 {
+            return Err(SimError::LoadDelayViolation {
+                pc,
+                reg: Reg::from_index(self.pending_load.trailing_zeros() as usize),
+            });
+        }
+        Ok(())
+    }
+
+    #[inline(always)]
+    fn ea(&self, base: Reg, disp: u32) -> u32 {
+        self.reg(base).wrapping_add(disp) & self.decoded.address_mask
+    }
+
+    /// Report a trapping checked instruction to the observer and redirect.
+    fn emit_trap<O: Observer>(
+        &mut self,
+        obs: &mut O,
+        pc: usize,
+        annot: Annot,
+        target: usize,
+    ) -> Result<Flow, SimError> {
+        if O::ENABLED {
+            let ev = Retirement {
+                pc,
+                insn: self.prog.insns[pc],
+                write: None,
+                mem: None,
+                trap: Some(target),
+            };
+            if obs.retire(&ev, annot, self.stats.cycles).is_break() {
+                return Err(SimError::Stopped {
+                    cycles: self.stats.cycles,
+                });
+            }
+        }
+        Ok(Flow::Trap { target })
+    }
+
+    /// Execute one non-control micro-op, recording its cycles. Mirrors
+    /// `Cpu::exec_simple` exactly (same effect order, same event shapes).
+    #[inline(always)]
+    fn exec_simple<O: Observer>(
+        &mut self,
+        pc: usize,
+        op: Op,
+        obs: &mut O,
+    ) -> Result<Flow, SimError> {
+        debug_assert!(!op.kind.is_control());
+        self.check_load_delay(pc, &op)?;
+        let mut next_pending = 0u32;
+        let mut memop: Option<MemOp> = None;
+        let flow = match op.kind {
+            OpKind::Add(d, a, b) => {
+                let v = self.reg(a).wrapping_add(self.reg(b));
+                self.set_reg(d, v);
+                Flow::Next
+            }
+            OpKind::Sub(d, a, b) => {
+                let v = self.reg(a).wrapping_sub(self.reg(b));
+                self.set_reg(d, v);
+                Flow::Next
+            }
+            OpKind::And(d, a, b) => {
+                let v = self.reg(a) & self.reg(b);
+                self.set_reg(d, v);
+                Flow::Next
+            }
+            OpKind::Or(d, a, b) => {
+                let v = self.reg(a) | self.reg(b);
+                self.set_reg(d, v);
+                Flow::Next
+            }
+            OpKind::Xor(d, a, b) => {
+                let v = self.reg(a) ^ self.reg(b);
+                self.set_reg(d, v);
+                Flow::Next
+            }
+            OpKind::Slt(d, a, b) => {
+                let v = ((self.reg(a) as i32) < (self.reg(b) as i32)) as u32;
+                self.set_reg(d, v);
+                Flow::Next
+            }
+            OpKind::Addi(d, a, i) => {
+                let v = self.reg(a).wrapping_add(i);
+                self.set_reg(d, v);
+                Flow::Next
+            }
+            OpKind::Andi(d, a, i) => {
+                let v = self.reg(a) & i;
+                self.set_reg(d, v);
+                Flow::Next
+            }
+            OpKind::Ori(d, a, i) => {
+                let v = self.reg(a) | i;
+                self.set_reg(d, v);
+                Flow::Next
+            }
+            OpKind::Xori(d, a, i) => {
+                let v = self.reg(a) ^ i;
+                self.set_reg(d, v);
+                Flow::Next
+            }
+            OpKind::Sll(d, a, s) => {
+                let v = self.reg(a) << s;
+                self.set_reg(d, v);
+                Flow::Next
+            }
+            OpKind::Srl(d, a, s) => {
+                let v = self.reg(a) >> s;
+                self.set_reg(d, v);
+                Flow::Next
+            }
+            OpKind::Sra(d, a, s) => {
+                let v = ((self.reg(a) as i32) >> s) as u32;
+                self.set_reg(d, v);
+                Flow::Next
+            }
+            OpKind::Li(d, i) => {
+                self.set_reg(d, i);
+                Flow::Next
+            }
+            OpKind::Mov(d, a) => {
+                let v = self.reg(a);
+                self.set_reg(d, v);
+                Flow::Next
+            }
+            OpKind::Fop(fop, d, a, b) => {
+                let v = fop.apply(self.reg(a), self.reg(b));
+                self.set_reg(d, v);
+                Flow::Next
+            }
+            OpKind::Mul(d, a, b) => {
+                let v = (self.reg(a) as i32).wrapping_mul(self.reg(b) as i32);
+                self.set_reg(d, v as u32);
+                Flow::Next
+            }
+            OpKind::Div(d, a, b) => {
+                let bb = self.reg(b) as i32;
+                let v = if bb == 0 {
+                    0
+                } else {
+                    (self.reg(a) as i32).wrapping_div(bb)
+                };
+                self.set_reg(d, v as u32);
+                Flow::Next
+            }
+            OpKind::Rem(d, a, b) => {
+                let bb = self.reg(b) as i32;
+                let v = if bb == 0 {
+                    0
+                } else {
+                    (self.reg(a) as i32).wrapping_rem(bb)
+                };
+                self.set_reg(d, v as u32);
+                Flow::Next
+            }
+            OpKind::Ld(d, base, disp) => {
+                let addr = self.ea(base, disp);
+                let v = self.mem.load(addr).ok_or(SimError::MemFault { addr, pc })?;
+                if O::ENABLED {
+                    memop = Some(MemOp {
+                        addr,
+                        value: v,
+                        store: false,
+                    });
+                }
+                self.set_reg(d, v);
+                next_pending = 1 << d.index();
+                Flow::Next
+            }
+            OpKind::St { src, base, disp } => {
+                let addr = self.ea(base, disp);
+                let v = self.reg(src);
+                if !self.mem.store(addr, v) {
+                    return Err(SimError::MemFault { addr, pc });
+                }
+                if O::ENABLED {
+                    memop = Some(MemOp {
+                        addr,
+                        value: v,
+                        store: true,
+                    });
+                }
+                Flow::Next
+            }
+            OpKind::LdChk {
+                rd,
+                base,
+                disp,
+                field,
+                expect,
+                clear,
+                on_fail,
+            } => {
+                let word = self.reg(base);
+                if field.extract(word) != expect {
+                    self.stats
+                        .record_trap(op.tag, op.cat, self.decoded.trap_penalty);
+                    self.pending_load = 0;
+                    return self.emit_trap(obs, pc, op.annot, on_fail as usize);
+                }
+                let addr = (word & clear).wrapping_add(disp) & self.decoded.address_mask;
+                let v = self.mem.load(addr).ok_or(SimError::MemFault { addr, pc })?;
+                if O::ENABLED {
+                    memop = Some(MemOp {
+                        addr,
+                        value: v,
+                        store: false,
+                    });
+                }
+                self.set_reg(rd, v);
+                next_pending = 1 << rd.index();
+                Flow::Next
+            }
+            OpKind::StChk {
+                src,
+                base,
+                disp,
+                field,
+                expect,
+                clear,
+                on_fail,
+            } => {
+                let word = self.reg(base);
+                if field.extract(word) != expect {
+                    self.stats
+                        .record_trap(op.tag, op.cat, self.decoded.trap_penalty);
+                    self.pending_load = 0;
+                    return self.emit_trap(obs, pc, op.annot, on_fail as usize);
+                }
+                let addr = (word & clear).wrapping_add(disp) & self.decoded.address_mask;
+                let v = self.reg(src);
+                if !self.mem.store(addr, v) {
+                    return Err(SimError::MemFault { addr, pc });
+                }
+                if O::ENABLED {
+                    memop = Some(MemOp {
+                        addr,
+                        value: v,
+                        store: true,
+                    });
+                }
+                Flow::Next
+            }
+            OpKind::GenArith {
+                sub,
+                rd,
+                rs,
+                rt,
+                int_test,
+                on_fail,
+            } => {
+                let a = self.reg(rs);
+                let b = self.reg(rt);
+                let result = if sub {
+                    (a as i32).checked_sub(b as i32)
+                } else {
+                    (a as i32).checked_add(b as i32)
+                };
+                let ok = int_test.is_int(a)
+                    && int_test.is_int(b)
+                    && result.map(|r| int_test.is_int(r as u32)).unwrap_or(false);
+                if !ok {
+                    self.stats.record_trap(
+                        tag_slot(GEN_TRAP_ANNOT),
+                        cat_slot(GEN_TRAP_ANNOT),
+                        self.decoded.trap_penalty,
+                    );
+                    self.pending_load = 0;
+                    return self.emit_trap(obs, pc, GEN_TRAP_ANNOT, on_fail as usize);
+                }
+                self.set_reg(rd, result.expect("checked above") as u32);
+                Flow::Next
+            }
+            OpKind::Nop => Flow::Next,
+            OpKind::Write(r, kind) => {
+                let v = self.reg(r);
+                match kind {
+                    WriteKind::Char => self.output.push((v & 0xFF) as u8 as char),
+                    WriteKind::Int => {
+                        use std::fmt::Write as _;
+                        let _ = write!(self.output, "{}", v as i32);
+                    }
+                }
+                Flow::Next
+            }
+            OpKind::Halt(r) => Flow::Halt(self.reg(r) as i32),
+            OpKind::CondBr { .. } | OpKind::Jump { .. } | OpKind::JumpReg { .. } => {
+                unreachable!("control handled by the main loop")
+            }
+        };
+        self.stats.cycles += u64::from(op.cost);
+        self.counts[pc] += 1;
+        self.pending_load = next_pending;
+        if O::ENABLED {
+            let insn = self.prog.insns[pc];
+            let ev = Retirement {
+                pc,
+                insn,
+                write: insn.def().map(|r| (r, self.reg(r))),
+                mem: memop,
+                trap: None,
+            };
+            if obs.retire(&ev, op.annot, self.stats.cycles).is_break() {
+                return Err(SimError::Stopped {
+                    cycles: self.stats.cycles,
+                });
+            }
+        }
+        Ok(flow)
+    }
+
+    /// Execute one delay-slot micro-op (must not be a control transfer).
+    #[inline(always)]
+    fn exec_slot<O: Observer>(&mut self, pc: usize, obs: &mut O) -> Result<Flow, SimError> {
+        let op = *self
+            .decoded
+            .ops
+            .get(pc)
+            .ok_or(SimError::PcOutOfRange { pc })?;
+        if op.kind.is_control() {
+            return Err(SimError::ControlInSlot { pc });
+        }
+        self.exec_simple(pc, op, obs)
+    }
+
+    fn outcome(&mut self, code: i32) -> Outcome {
+        Outcome {
+            halt_code: code,
+            output: std::mem::take(&mut self.output),
+            stats: self
+                .stats
+                .fold_counts(&self.decoded, &self.counts, &self.squash_counts),
+        }
+    }
+}
+
+impl Executor for FastCpu<'_> {
+    fn run_observed<O: Observer>(
+        &mut self,
+        max_cycles: u64,
+        obs: &mut O,
+    ) -> Result<Outcome, SimError> {
+        loop {
+            if self.stats.cycles >= max_cycles {
+                return Err(SimError::OutOfFuel {
+                    cycles: self.stats.cycles,
+                });
+            }
+            let pc = self.pc;
+            let op = *self
+                .decoded
+                .ops
+                .get(pc)
+                .ok_or(SimError::PcOutOfRange { pc })?;
+            if !op.kind.is_control() {
+                match self.exec_simple(pc, op, obs)? {
+                    Flow::Next => self.pc = pc + 1,
+                    Flow::Halt(code) => return Ok(self.outcome(code)),
+                    Flow::Trap { target } => self.pc = target,
+                }
+                continue;
+            }
+
+            // Control transfer. Charge the branch/jump cycle itself
+            // (control ops always decode with cost 1).
+            self.check_load_delay(pc, &op)?;
+            self.stats.cycles += 1;
+            self.counts[pc] += 1;
+            self.pending_load = 0;
+
+            let (taken, target, squash, slots, link): (bool, usize, bool, usize, Option<Reg>) =
+                match op.kind {
+                    OpKind::CondBr {
+                        cond,
+                        target,
+                        squash,
+                    } => {
+                        let t = match cond {
+                            BrCond::RegReg(c, rs, rt) => c.eval(self.reg(rs), self.reg(rt)),
+                            BrCond::RegImm(c, rs, imm) => c.eval(self.reg(rs), imm),
+                            BrCond::Tag {
+                                rs,
+                                field,
+                                value,
+                                neq,
+                            } => {
+                                let eq = field.extract(self.reg(rs)) == value;
+                                if neq {
+                                    !eq
+                                } else {
+                                    eq
+                                }
+                            }
+                        };
+                        (t, target as usize, squash, 2, None)
+                    }
+                    OpKind::Jump { target, link } => (true, target as usize, false, 1, link),
+                    OpKind::JumpReg { r, link } => (true, self.reg(r) as usize, false, 1, link),
+                    _ => unreachable!(),
+                };
+
+            if let Some(link) = link {
+                self.set_reg(link, (pc + 1 + slots) as u32);
+            }
+
+            if O::ENABLED {
+                let insn = self.prog.insns[pc];
+                let ev = Retirement {
+                    pc,
+                    insn,
+                    write: insn.def().map(|r| (r, self.reg(r))),
+                    mem: None,
+                    trap: None,
+                };
+                if obs.retire(&ev, op.annot, self.stats.cycles).is_break() {
+                    return Err(SimError::Stopped {
+                        cycles: self.stats.cycles,
+                    });
+                }
+            }
+
+            let mut halted = None;
+            for s in 1..=slots {
+                let spc = pc + s;
+                if taken || !squash {
+                    match self.exec_slot(spc, obs)? {
+                        Flow::Next => {}
+                        Flow::Halt(code) => {
+                            halted = Some(code);
+                            break;
+                        }
+                        Flow::Trap { .. } => {
+                            // Checked instructions are never placed in delay
+                            // slots by the code generator (verify.rs enforces
+                            // it).
+                            return Err(SimError::ControlInSlot { pc: spc });
+                        }
+                    }
+                } else {
+                    // Squashed: cycle wasted, attributed to the branch.
+                    self.stats.cycles += 1;
+                    self.squash_counts[pc] += 1;
+                    self.pending_load = 0;
+                    if O::ENABLED {
+                        obs.squash(spc, op.annot, self.stats.cycles);
+                    }
+                }
+            }
+            if let Some(code) = halted {
+                return Ok(self.outcome(code));
+            }
+
+            self.pc = if taken { target } else { pc + 1 + slots };
+        }
+    }
+
+    fn regs(&self) -> &[u32; 32] {
+        &self.regs
+    }
+
+    fn mem(&self) -> &Mem {
+        &self.mem
+    }
+}
+
+impl Executor for RefCpu<'_> {
+    /// Drive [`RefCpu::step`] to completion, rebuilding the cycle accounting
+    /// from the retirement stream (it is purely architectural: retirement
+    /// class/annotation plus the hardware's fixed costs determine every
+    /// counter). Produces the same `Outcome` and event stream as the other
+    /// backends, with two caveats: the reference interpreter does not enforce
+    /// the load-delay rule, and on error paths the event stream may end
+    /// slightly earlier than the classic interpreter's.
+    fn run_observed<O: Observer>(
+        &mut self,
+        max_cycles: u64,
+        obs: &mut O,
+    ) -> Result<Outcome, SimError> {
+        let trap_penalty = u64::from(self.hw_config().trap_penalty);
+        let mut stats = Stats::default();
+        loop {
+            // The classic loop checks fuel only between instruction groups
+            // (never inside a branch's delay slots); mirror that.
+            if !self.in_delay_slot() && stats.cycles >= max_cycles {
+                return Err(SimError::OutOfFuel {
+                    cycles: stats.cycles,
+                });
+            }
+            let ev = match self.step()? {
+                Some(ev) => ev,
+                None => {
+                    return Ok(Outcome {
+                        halt_code: self.halt_code().expect("step returned None, so halted"),
+                        output: self.take_output(),
+                        stats,
+                    })
+                }
+            };
+            let annot = self.program().annots[ev.pc];
+            if ev.trap.is_some() {
+                // Generic-arithmetic traps are charged to the fixed dispatch
+                // annotation, as in the classic interpreter.
+                let trap_annot = if matches!(ev.insn, Insn::AddG { .. } | Insn::SubG { .. }) {
+                    GEN_TRAP_ANNOT
+                } else {
+                    annot
+                };
+                stats.record_trap(trap_annot, trap_penalty);
+                if O::ENABLED && obs.retire(&ev, trap_annot, stats.cycles).is_break() {
+                    return Err(SimError::Stopped {
+                        cycles: stats.cycles,
+                    });
+                }
+                continue;
+            }
+            let hw = self.hw_config();
+            let cost = match ev.insn {
+                Insn::Fop(..) => u64::from(hw.fp_cycles),
+                Insn::Mul(..) => u64::from(hw.mul_cycles),
+                Insn::Div(..) | Insn::Rem(..) => u64::from(hw.div_cycles),
+                _ => 1,
+            };
+            stats.record(InsnClass::of(ev.insn), annot, cost);
+            if O::ENABLED && obs.retire(&ev, annot, stats.cycles).is_break() {
+                return Err(SimError::Stopped {
+                    cycles: stats.cycles,
+                });
+            }
+            if let Some((first_slot, nslots)) = self.take_squashed() {
+                for s in 0..nslots {
+                    stats.record_squashed(annot);
+                    if O::ENABLED {
+                        obs.squash(first_slot + s, annot, stats.cycles);
+                    }
+                }
+            }
+        }
+    }
+
+    fn regs(&self) -> &[u32; 32] {
+        RefCpu::regs(self)
+    }
+
+    fn mem(&self) -> &Mem {
+        RefCpu::mem(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::Asm;
+    use crate::trace::TraceBuffer;
+
+    fn demo_program() -> Program {
+        let mut asm = Asm::new();
+        let e = asm.here("entry");
+        asm.set_entry(e);
+        let target = asm.new_label();
+        asm.li(Reg::A0, 40);
+        asm.li(Reg::A1, 2);
+        asm.emit(Insn::Add(Reg::A0, Reg::A0, Reg::A1));
+        asm.st(Reg::A0, Reg::Sp, 8);
+        asm.ld(Reg::A2, Reg::Sp, 8);
+        asm.nop();
+        asm.bri(crate::insn::Cond::Gt, Reg::A2, 0, target);
+        asm.halt(Reg::Zero);
+        asm.bind(target);
+        asm.write(Reg::A2, WriteKind::Int);
+        asm.halt(Reg::A2);
+        asm.finish().expect("assembles")
+    }
+
+    #[test]
+    fn backend_names_round_trip() {
+        for b in ALL_BACKENDS {
+            assert_eq!(Backend::from_name(b.name()), Some(b));
+            assert_eq!(Backend::from_name(&b.name().to_uppercase()), Some(b));
+        }
+        assert_eq!(Backend::from_name("turbo"), None);
+        assert_eq!(Backend::default(), Backend::Fast);
+        assert_eq!(Backend::Fast.to_string(), "fast");
+    }
+
+    #[test]
+    fn all_backends_agree_on_a_demo_program() {
+        let prog = demo_program();
+        let hw = HwConfig::plain();
+        let classic = Backend::Classic
+            .executor(&prog, hw, 1 << 16)
+            .unwrap()
+            .run(100_000)
+            .unwrap();
+        for backend in [Backend::Fast, Backend::Ref] {
+            let mut ex = backend.executor(&prog, hw, 1 << 16).unwrap();
+            let o = ex.run(100_000).unwrap();
+            assert_eq!(o.halt_code, classic.halt_code, "{backend}");
+            assert_eq!(o.output, classic.output, "{backend}");
+            assert_eq!(o.stats, classic.stats, "{backend}");
+        }
+    }
+
+    #[test]
+    fn fast_and_ref_event_streams_match_classic() {
+        let prog = demo_program();
+        let hw = HwConfig::plain();
+        let trace = |backend: Backend| {
+            let mut buf = TraceBuffer::default();
+            let mut ex = backend.executor(&prog, hw, 1 << 16).unwrap();
+            ex.run_observed(100_000, &mut buf).unwrap();
+            (buf.records, buf.annotations, buf.squashes)
+        };
+        let classic = trace(Backend::Classic);
+        assert_eq!(trace(Backend::Fast), classic);
+        assert_eq!(trace(Backend::Ref), classic);
+    }
+
+    #[test]
+    fn missing_hardware_is_a_predecode_error() {
+        let mut asm = Asm::new();
+        let e = asm.here("entry");
+        asm.set_entry(e);
+        // The tag branch is unreachable, but predecode rejects it anyway.
+        asm.halt(Reg::Zero);
+        asm.emit(Insn::TagBr {
+            rs: Reg::A0,
+            field: TagField {
+                shift: 27,
+                mask: 0x1F,
+            },
+            value: 0,
+            neq: false,
+            target: e.id(),
+            squash: false,
+        });
+        asm.nop();
+        asm.nop();
+        let prog = asm.finish().unwrap();
+        let err = DecodedProgram::decode(&prog, HwConfig::plain()).unwrap_err();
+        assert_eq!(
+            err,
+            SimError::MissingHardware {
+                pc: 1,
+                feature: "tag branch"
+            }
+        );
+        // With the hardware present, predecode succeeds and the program runs.
+        let decoded = DecodedProgram::decode(&prog, HwConfig::with_tag_branch()).unwrap();
+        assert_eq!(decoded.len(), prog.len());
+        assert!(!decoded.is_empty());
+        let o = FastCpu::new(&prog, HwConfig::with_tag_branch(), 1 << 16)
+            .unwrap()
+            .run(1000)
+            .unwrap();
+        assert_eq!(o.halt_code, 0);
+    }
+
+    #[test]
+    fn fast_detects_load_delay_violation() {
+        let mut asm = Asm::new();
+        let e = asm.here("entry");
+        asm.set_entry(e);
+        asm.li(Reg::T0, 0x100);
+        asm.ld(Reg::A0, Reg::T0, 0);
+        asm.emit(Insn::Add(Reg::A1, Reg::A0, Reg::Zero)); // reads A0 too early
+        asm.halt(Reg::A1);
+        let prog = asm.finish().unwrap();
+        let err = FastCpu::new(&prog, HwConfig::plain(), 1 << 16)
+            .unwrap()
+            .run(1000)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            SimError::LoadDelayViolation { reg: Reg::A0, .. }
+        ));
+    }
+
+    #[test]
+    fn dense_stats_round_trip_matches_hashmap_accounting() {
+        // Exercise every attribution path, including a zero-cycle trap (the
+        // case where "touched" differs from "non-zero").
+        let annots = [
+            Annot::NONE,
+            Annot::base(TagOpKind::Remove),
+            Annot::checking(TagOpKind::Check, CheckCat::List),
+            Annot::checking(TagOpKind::Insert, CheckCat::Vector),
+            GEN_TRAP_ANNOT,
+        ];
+        let mut dense = DenseStats::default();
+        let mut classic = Stats::default();
+        for (i, &a) in annots.iter().enumerate() {
+            let class = ALL_CLASSES[i];
+            dense.record(class_slot(class), tag_slot(a), cat_slot(a), i as u64 + 1);
+            classic.record(class, a, i as u64 + 1);
+        }
+        dense.record_squashed(tag_slot(annots[2]), cat_slot(annots[2]));
+        classic.record_squashed(annots[2]);
+        dense.record_trap(tag_slot(GEN_TRAP_ANNOT), cat_slot(GEN_TRAP_ANNOT), 0);
+        classic.record_trap(GEN_TRAP_ANNOT, 0);
+        assert_eq!(dense.to_stats(), classic);
+    }
+}

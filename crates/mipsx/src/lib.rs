@@ -40,8 +40,12 @@
 //!
 //! # Example
 //!
+//! Programs run on any [`Executor`] backend — the classic [`Cpu`], the
+//! predecoded [`FastCpu`] (the default), or the reference [`RefCpu`]; all
+//! three produce identical results (see the [`exec`] module docs).
+//!
 //! ```
-//! use mipsx::{Asm, Cpu, HwConfig, Insn, Reg};
+//! use mipsx::{Asm, Backend, Executor, HwConfig, Insn, Reg};
 //!
 //! let mut asm = Asm::new();
 //! let entry = asm.here("entry");
@@ -52,7 +56,9 @@
 //! asm.emit(Insn::Halt(Reg::A0));
 //! let prog = asm.finish().unwrap();
 //!
-//! let mut cpu = Cpu::new(&prog, HwConfig::plain(), 1 << 16);
+//! let mut cpu = Backend::default()
+//!     .executor(&prog, HwConfig::plain(), 1 << 16)
+//!     .unwrap();
 //! let outcome = cpu.run(10_000).unwrap();
 //! assert_eq!(outcome.halt_code, 42);
 //! ```
@@ -70,6 +76,7 @@ mod refcpu;
 mod reg;
 mod stats;
 
+pub mod exec;
 pub mod profile;
 pub mod sched;
 pub mod symtab;
@@ -79,6 +86,7 @@ pub mod verify;
 pub use annot::{Annot, CheckCat, Provenance, TagOpKind, ALL_CHECK_CATS, ALL_TAG_OPS};
 pub use asm::{Asm, AsmError, Label};
 pub use cpu::{Cpu, Outcome, SimError};
+pub use exec::{AnyExecutor, Backend, DecodedProgram, Executor, FastCpu, ALL_BACKENDS};
 pub use hw::{HwConfig, ParallelCheck};
 pub use insn::{Cond, FpOp, Insn, IntTest, TagField, WriteKind};
 pub use mem::Mem;

@@ -612,6 +612,7 @@ mod tests {
     use super::*;
     use crate::asm::Asm;
     use crate::cpu::Cpu;
+    use crate::exec::Executor;
     use crate::hw::HwConfig;
     use crate::reg::Reg;
 

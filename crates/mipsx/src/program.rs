@@ -128,10 +128,9 @@ mod tests {
 
     #[test]
     fn listing_shows_call_targets() {
-        let symbols: HashMap<String, usize> =
-            [("main".to_string(), 0), ("fn:f".to_string(), 3)]
-                .into_iter()
-                .collect();
+        let symbols: HashMap<String, usize> = [("main".to_string(), 0), ("fn:f".to_string(), 3)]
+            .into_iter()
+            .collect();
         let insns = vec![
             Insn::Jal(3, Reg::Link),
             Insn::Nop,

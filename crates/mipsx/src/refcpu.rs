@@ -63,6 +63,10 @@ pub struct RefCpu<'p> {
     mem: Mem,
     pc: usize,
     slots: Option<SlotState>,
+    /// Delay slots the last retired branch squashed, as `(first slot pc,
+    /// count)` — consumed by [`RefCpu::take_squashed`] so a driver can mirror
+    /// the pipelined executor's squash events and cycle accounting.
+    squashed: Option<(usize, usize)>,
     output: String,
     halt_code: Option<i32>,
     fault: Option<Fault>,
@@ -72,7 +76,17 @@ pub struct RefCpu<'p> {
 
 impl<'p> RefCpu<'p> {
     /// Build a reference executor for `prog`, mirroring [`crate::Cpu::new`].
+    ///
+    /// # Panics
+    ///
+    /// If `prog.annots` is not parallel to `prog.insns`, as for
+    /// [`crate::Cpu::new`].
     pub fn new(prog: &'p Program, hw: HwConfig, mem_bytes: usize) -> Self {
+        assert_eq!(
+            prog.annots.len(),
+            prog.insns.len(),
+            "program annots must parallel insns (one Annot per instruction)"
+        );
         let mut mem = Mem::new(mem_bytes);
         for &(addr, word) in &prog.data {
             assert!(
@@ -87,6 +101,7 @@ impl<'p> RefCpu<'p> {
             mem,
             pc: prog.entry,
             slots: None,
+            squashed: None,
             output: String::new(),
             halt_code: None,
             fault: None,
@@ -130,9 +145,44 @@ impl<'p> RefCpu<'p> {
         &self.output
     }
 
+    /// Take the output buffer, leaving it empty (for building an
+    /// [`crate::Outcome`] once the program has halted).
+    pub fn take_output(&mut self) -> String {
+        std::mem::take(&mut self.output)
+    }
+
     /// The `halt` exit code, once the program has halted.
     pub fn halt_code(&self) -> Option<i32> {
         self.halt_code
+    }
+
+    /// The program being executed.
+    pub fn program(&self) -> &'p Program {
+        self.prog
+    }
+
+    /// The hardware configuration this executor was built with.
+    pub fn hw_config(&self) -> HwConfig {
+        self.hw
+    }
+
+    /// Whether the next [`step`](RefCpu::step) retires a delay-slot
+    /// instruction of an earlier control transfer (the pipelined executor
+    /// never checks its cycle budget in that window; a driver rebuilding cycle
+    /// accounting wants to match).
+    pub fn in_delay_slot(&self) -> bool {
+        self.slots.is_some()
+    }
+
+    /// The delay slots the most recently retired branch squashed, as
+    /// `(first slot pc, count)`, consumed on read. `None` when the last
+    /// retirement squashed nothing or the squashes were already taken.
+    ///
+    /// Squashed slots retire nothing, so they are invisible in the
+    /// [`Retirement`] stream; this is the side channel that lets a driver
+    /// reproduce the pipelined executor's per-slot squash events.
+    pub fn take_squashed(&mut self) -> Option<(usize, usize)> {
+        self.squashed.take()
     }
 
     fn fetch(&self, pc: usize) -> Result<Insn, SimError> {
@@ -252,9 +302,16 @@ impl<'p> RefCpu<'p> {
                 _ => unreachable!("exec_control only sees control instructions"),
             };
 
-        if matches!(insn, Insn::Br { .. } | Insn::Bri { .. } | Insn::TagBr { .. }) {
+        if matches!(
+            insn,
+            Insn::Br { .. } | Insn::Bri { .. } | Insn::TagBr { .. }
+        ) {
             self.branches_retired += 1;
-            if self.fault == Some(Fault::BranchInvert { nth: self.branches_retired }) {
+            if self.fault
+                == Some(Fault::BranchInvert {
+                    nth: self.branches_retired,
+                })
+            {
                 taken = !taken;
             }
         }
@@ -266,6 +323,7 @@ impl<'p> RefCpu<'p> {
         let resume = if taken { target } else { fall_through };
         if !taken && squash {
             // Squashed slots execute nothing and retire nothing.
+            self.squashed = Some((pc + 1, nslots));
             self.pc = resume;
         } else {
             self.slots = Some(SlotState {
@@ -292,7 +350,11 @@ impl<'p> RefCpu<'p> {
             Insn::Add(d, a, b) => {
                 self.adds_retired += 1;
                 let mut v = self.reg(a).wrapping_add(self.reg(b));
-                if self.fault == Some(Fault::AddOffByOne { nth: self.adds_retired }) {
+                if self.fault
+                    == Some(Fault::AddOffByOne {
+                        nth: self.adds_retired,
+                    })
+                {
                     v = v.wrapping_add(1);
                 }
                 self.set_reg(d, v);
@@ -541,6 +603,7 @@ mod tests {
     use super::*;
     use crate::asm::Asm;
     use crate::cpu::Cpu;
+    use crate::exec::Executor;
     use crate::insn::Cond;
     use crate::trace::{Observer, TraceBuffer};
 
@@ -585,7 +648,14 @@ mod tests {
         assert_eq!(cpu_t.len(), 7);
         // The load's record carries the memory op and the loaded value.
         let ld = &cpu_t[4];
-        assert_eq!(ld.mem, Some(MemOp { addr: 8, value: 42, store: false }));
+        assert_eq!(
+            ld.mem,
+            Some(MemOp {
+                addr: 8,
+                value: 42,
+                store: false
+            })
+        );
         assert_eq!(ld.write, Some((Reg::A2, 42)));
     }
 

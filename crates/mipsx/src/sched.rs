@@ -267,6 +267,7 @@ use crate::annot::TagOpKind as _docref; // keep rustdoc link targets alive
 mod tests {
     use super::*;
     use crate::cpu::Cpu;
+    use crate::exec::Executor;
     use crate::hw::HwConfig;
     use crate::insn::Cond;
     use crate::reg::Reg;

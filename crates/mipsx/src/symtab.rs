@@ -135,9 +135,7 @@ impl SymbolTable {
     /// Index of the region *starting exactly at* `pc`, if any. This is what
     /// distinguishes a call landing on an entry from ordinary control flow.
     pub fn entry_at(&self, pc: usize) -> Option<usize> {
-        self.funcs
-            .binary_search_by(|f| f.start.cmp(&pc))
-            .ok()
+        self.funcs.binary_search_by(|f| f.start.cmp(&pc)).ok()
     }
 
     /// Region name by index.

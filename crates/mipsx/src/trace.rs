@@ -21,6 +21,7 @@
 //! [`Cpu::run`]: crate::Cpu::run
 //! [`Cpu::run_observed`]: crate::Cpu::run_observed
 
+use std::hash::{Hash, Hasher};
 use std::ops::ControlFlow;
 
 use crate::annot::Annot;
@@ -102,11 +103,7 @@ impl Observer for NoTrace {
 
 /// What [`TraceBuffer::drain`] hands back: the retirements, the parallel
 /// `(annotation, cumulative cycle)` sidecar, and the squashed-slot log.
-pub type DrainedTrace = (
-    Vec<Retirement>,
-    Vec<(Annot, u64)>,
-    Vec<(usize, Annot, u64)>,
-);
+pub type DrainedTrace = (Vec<Retirement>, Vec<(Annot, u64)>, Vec<(usize, Annot, u64)>);
 
 /// An observer that records the whole run in memory.
 ///
@@ -164,6 +161,69 @@ impl TraceBuffer {
             std::mem::take(&mut self.annotations),
             std::mem::take(&mut self.squashes),
         )
+    }
+}
+
+/// An observer that folds the whole event stream into a single order-sensitive
+/// digest, in constant memory.
+///
+/// Two runs produce the same `(digest, retired, squashed)` triple exactly when
+/// they emitted the same [`Retirement`] records (with the same annotations and
+/// cumulative cycles) and the same squashed slots, in the same order — which is
+/// what the backend-equivalence suite in the `conformance` crate checks on
+/// workloads too large for a [`TraceBuffer`]. The digest is
+/// [`DefaultHasher`](std::collections::hash_map::DefaultHasher)-based, so it is
+/// only stable within one process — compare two `StreamHash`es from the same
+/// run of a test, don't persist the value.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StreamHash {
+    /// The running digest over every event so far.
+    pub digest: u64,
+    /// Number of retirements folded in.
+    pub retired: u64,
+    /// Number of squashed slots folded in.
+    pub squashed: u64,
+}
+
+impl StreamHash {
+    /// A fresh digest (same as `StreamHash::default()`).
+    pub fn new() -> StreamHash {
+        StreamHash::default()
+    }
+
+    #[inline]
+    fn fold(&mut self, f: impl FnOnce(&mut std::collections::hash_map::DefaultHasher)) {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        self.digest.hash(&mut h);
+        f(&mut h);
+        self.digest = h.finish();
+    }
+}
+
+impl Observer for StreamHash {
+    fn retire(&mut self, ev: &Retirement, annot: Annot, cycle: u64) -> ControlFlow<()> {
+        self.fold(|h| {
+            0u8.hash(h); // event kind: retirement
+            ev.pc.hash(h);
+            format!("{:?}", ev.insn).hash(h);
+            ev.write.map(|(r, v)| (r as u8, v)).hash(h);
+            ev.mem.map(|m| (m.addr, m.value, m.store)).hash(h);
+            ev.trap.hash(h);
+            format!("{annot:?}").hash(h);
+            cycle.hash(h);
+        });
+        self.retired += 1;
+        ControlFlow::Continue(())
+    }
+
+    fn squash(&mut self, pc: usize, branch_annot: Annot, cycle: u64) {
+        self.fold(|h| {
+            1u8.hash(h); // event kind: squashed slot
+            pc.hash(h);
+            format!("{branch_annot:?}").hash(h);
+            cycle.hash(h);
+        });
+        self.squashed += 1;
     }
 }
 

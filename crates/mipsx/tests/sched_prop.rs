@@ -7,7 +7,7 @@
 
 use proptest::prelude::*;
 
-use mipsx::{sched, verify, Asm, Cond, Cpu, HwConfig, Insn, Reg};
+use mipsx::{sched, verify, Asm, Cond, Cpu, Executor, HwConfig, Insn, Reg};
 
 /// The registers random programs may touch (avoid the runtime-convention ones
 /// so setup stays trivial).

@@ -6,7 +6,7 @@
 use std::ops::ControlFlow;
 
 use mipsx::trace::{MemOp, Observer, TraceBuffer};
-use mipsx::{Asm, Cpu, HwConfig, Insn, Reg, SimError, TagField};
+use mipsx::{Asm, Cpu, Executor, HwConfig, Insn, Reg, SimError, TagField};
 
 fn entry(asm: &mut Asm) {
     let e = asm.here("entry");
@@ -45,15 +45,19 @@ fn load_retirement_reports_memop_and_writeback() {
             store: false
         })
     );
-    assert_eq!(load.write, Some((Reg::A0, 42)), "loads report the writeback");
+    assert_eq!(
+        load.write,
+        Some((Reg::A0, 42)),
+        "loads report the writeback"
+    );
     assert_eq!(load.trap, None);
 
     // Annotation sidecar stays parallel, and cycles are strictly increasing.
     assert_eq!(buf.annotations.len(), buf.records.len());
-    assert!(buf
-        .annotations
-        .windows(2)
-        .all(|w| w[0].1 < w[1].1), "cumulative cycles increase");
+    assert!(
+        buf.annotations.windows(2).all(|w| w[0].1 < w[1].1),
+        "cumulative cycles increase"
+    );
 }
 
 #[test]
@@ -157,7 +161,11 @@ fn squashed_slots_are_reported_separately() {
         .find(|r| matches!(r.insn, Insn::Br { .. }))
         .expect("branch retired")
         .pc;
-    assert_eq!(buf.squashes[0].0, branch_pc + 1, "slot pcs follow the branch");
+    assert_eq!(
+        buf.squashes[0].0,
+        branch_pc + 1,
+        "slot pcs follow the branch"
+    );
     assert_eq!(buf.squashes[1].0, branch_pc + 2);
     // Squashed slots never retire.
     assert!(buf.records.iter().all(|r| r.pc != branch_pc + 1));

@@ -41,11 +41,7 @@ fn evaluator_traps_match_compiled_traps() {
     let cases: &[(&str, &str, i32)] = &[
         ("car of a fixnum", "(print (car 5))", exit_code::ERR_CAR),
         ("cdr of a fixnum", "(print (cdr 5))", exit_code::ERR_CAR),
-        (
-            "rplaca of a non-pair",
-            "(rplaca 3 4)",
-            exit_code::ERR_CAR,
-        ),
+        ("rplaca of a non-pair", "(rplaca 3 4)", exit_code::ERR_CAR),
         (
             "getv of a non-vector",
             "(print (getv 9 0))",
@@ -66,7 +62,11 @@ fn evaluator_traps_match_compiled_traps() {
             "(print (plus (quote a) 1))",
             exit_code::ERR_ARITH,
         ),
-        ("division by zero", "(print (quotient 1 0))", exit_code::ERR_DIV0),
+        (
+            "division by zero",
+            "(print (quotient 1 0))",
+            exit_code::ERR_DIV0,
+        ),
         (
             "remainder by zero",
             "(print (remainder 1 0))",

@@ -538,9 +538,11 @@ mod tests {
             Leaf,
             Node(Vec<T>),
         }
-        let s = (0i32..10).prop_map(|_| T::Leaf).prop_recursive(4, 16, 3, |inner| {
-            prop::collection::vec(inner, 1..4).prop_map(T::Node)
-        });
+        let s = (0i32..10)
+            .prop_map(|_| T::Leaf)
+            .prop_recursive(4, 16, 3, |inner| {
+                prop::collection::vec(inner, 1..4).prop_map(T::Node)
+            });
         let mut rng = TestRng::deterministic("recursion");
         fn depth(t: &T) -> u32 {
             match t {

@@ -72,7 +72,11 @@ fn submit(addr: &str, args: &[String]) {
     }
     let body = format!(
         "{{\"experiments\":[{}]}}",
-        specs.iter().map(|s| json_string(s)).collect::<Vec<_>>().join(",")
+        specs
+            .iter()
+            .map(|s| json_string(s))
+            .collect::<Vec<_>>()
+            .join(",")
     );
     let (status, text) = call(addr, "POST", "/v1/experiments", body.as_bytes());
     if status != 200 {
@@ -90,7 +94,11 @@ fn submit(addr: &str, args: &[String]) {
     for (spec, key, m) in &results {
         let cycles = m.stats.cycles;
         let insns = m.stats.committed;
-        let cpi = if insns == 0 { 0.0 } else { cycles as f64 / insns as f64 };
+        let cpi = if insns == 0 {
+            0.0
+        } else {
+            cycles as f64 / insns as f64
+        };
         println!("{spec:<34} {cycles:>14} {insns:>12} {cpi:>6.3}  {key}");
     }
 }
@@ -105,9 +113,10 @@ fn metrics(addr: &str, args: &[String]) {
                     eprintln!("tagctl metrics: --watch needs seconds\n");
                     usage()
                 });
-                watch = Some(secs.parse().unwrap_or_else(|_| {
-                    die(&format!("bad --watch value {secs:?}"))
-                }));
+                watch = Some(
+                    secs.parse()
+                        .unwrap_or_else(|_| die(&format!("bad --watch value {secs:?}"))),
+                );
                 i += 2;
             }
             other => die(&format!("metrics: unexpected argument {other:?}")),
@@ -126,8 +135,7 @@ fn metrics(addr: &str, args: &[String]) {
 }
 
 fn main() {
-    let mut addr =
-        std::env::var("TAGSTUDYD_ADDR").unwrap_or_else(|_| DEFAULT_ADDR.to_string());
+    let mut addr = std::env::var("TAGSTUDYD_ADDR").unwrap_or_else(|_| DEFAULT_ADDR.to_string());
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().map(String::as_str) == Some("--addr") {
         if args.len() < 2 {
@@ -137,7 +145,9 @@ fn main() {
         addr = args[1].clone();
         args.drain(..2);
     }
-    let Some(command) = args.first().cloned() else { usage() };
+    let Some(command) = args.first().cloned() else {
+        usage()
+    };
     let rest = &args[1..];
     match command.as_str() {
         "submit" => submit(&addr, rest),

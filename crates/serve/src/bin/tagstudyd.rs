@@ -45,10 +45,12 @@ fn main() {
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
-        let mut value = |flag: &str| args.next().unwrap_or_else(|| {
-            eprintln!("tagstudyd: {flag} needs a value\n");
-            usage()
-        });
+        let mut value = |flag: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("tagstudyd: {flag} needs a value\n");
+                usage()
+            })
+        };
         match arg.as_str() {
             "--addr" => addr = value("--addr"),
             "--cache-dir" => cache_dir = Some(value("--cache-dir")),
@@ -80,7 +82,10 @@ fn main() {
             eprintln!("tagstudyd: cannot open cache dir {dir:?}: {e}");
             exit(1);
         });
-        eprintln!("[tagstudyd] cache dir {dir} ({} records)", store.record_count());
+        eprintln!(
+            "[tagstudyd] cache dir {dir} ({} records)",
+            store.record_count()
+        );
         Arc::new(store)
     });
 

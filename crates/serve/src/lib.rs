@@ -306,7 +306,8 @@ impl Daemon {
             let Ok(stream) = stream else { continue };
             match self.try_enqueue(stream) {
                 Ok(depth) => {
-                    self.lock_metrics().gauge_max(daemon_metrics::QUEUE_PEAK, depth as f64);
+                    self.lock_metrics()
+                        .gauge_max(daemon_metrics::QUEUE_PEAK, depth as f64);
                 }
                 Err(mut stream) => {
                     // Shed at the door: tell the client when to come back
@@ -326,8 +327,7 @@ impl Daemon {
                     let _ = stream.shutdown(std::net::Shutdown::Write);
                     let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
                     let mut scratch = [0u8; 4096];
-                    while matches!(std::io::Read::read(&mut stream, &mut scratch), Ok(n) if n > 0)
-                    {
+                    while matches!(std::io::Read::read(&mut stream, &mut scratch), Ok(n) if n > 0) {
                     }
                 }
             }
@@ -347,10 +347,7 @@ impl Daemon {
                     if self.shutting_down.load(Ordering::SeqCst) {
                         break None;
                     }
-                    q = self
-                        .queue_ready
-                        .wait(q)
-                        .unwrap_or_else(|e| e.into_inner());
+                    q = self.queue_ready.wait(q).unwrap_or_else(|e| e.into_inner());
                 }
             };
             let Some((mut stream, enqueued)) = next else {
@@ -435,8 +432,7 @@ impl Daemon {
         }
         let result = session.measure_many(&requests);
         // Refresh the lock-free metrics snapshot while we hold the session.
-        *self.session_prom.lock().unwrap_or_else(|e| e.into_inner()) =
-            session.metrics_prometheus();
+        *self.session_prom.lock().unwrap_or_else(|e| e.into_inner()) = session.metrics_prometheus();
         drop(session);
         match result {
             Ok(measurements) => {

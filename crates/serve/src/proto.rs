@@ -34,11 +34,11 @@ fn spec_from_object(obj: &[(String, Json)]) -> Result<ExperimentSpec, String> {
     for (key, _) in obj {
         if !matches!(
             key.as_str(),
-            "program" | "source" | "heap" | "scheme" | "checking" | "hw"
+            "program" | "source" | "heap" | "scheme" | "checking" | "hw" | "backend"
         ) {
             return Err(format!(
                 "unknown experiment field {key:?} (want program or source, \
-                 plus scheme, checking, hw, heap)"
+                 plus scheme, checking, hw, heap, backend)"
             ));
         }
     }
@@ -47,6 +47,12 @@ fn spec_from_object(obj: &[(String, Json)]) -> Result<ExperimentSpec, String> {
             Some(v) => Ok(v.as_str(name)?.to_string()),
             None => Ok(default.to_string()),
         }
+    };
+    // The backend pins which simulator executes the measurement; it never
+    // enters the config's identity or the store's content addresses.
+    let backend = match get(obj, "backend") {
+        Some(v) => spec::parse_backend(v.as_str("backend")?)?,
+        None => mipsx::Backend::default(),
     };
     // An inline spec carries its own Lisp source (and optionally a heap
     // override); a named spec references a built-in benchmark. Exactly one.
@@ -70,7 +76,9 @@ fn spec_from_object(obj: &[(String, Json)]) -> Result<ExperimentSpec, String> {
         let scheme = spec::parse_scheme(&field("scheme", spec::DEFAULT_SCHEME)?)?;
         let checking = spec::parse_checking(&field("checking", spec::DEFAULT_CHECKING)?)?;
         let hw = spec::parse_hw(&field("hw", spec::DEFAULT_HW)?, scheme)?;
-        let config = tagstudy::Config::new(scheme, checking).with_hw(hw);
+        let config = tagstudy::Config::new(scheme, checking)
+            .with_hw(hw)
+            .with_backend(backend);
         return Ok(ExperimentSpec::inline(source, config, heap));
     }
     if get(obj, "heap").is_some() {
@@ -85,7 +93,9 @@ fn spec_from_object(obj: &[(String, Json)]) -> Result<ExperimentSpec, String> {
         field("checking", spec::DEFAULT_CHECKING)?,
         field("hw", spec::DEFAULT_HW)?
     );
-    spec::parse_spec(&text)
+    let mut parsed = spec::parse_spec(&text)?;
+    parsed.config = parsed.config.with_backend(backend);
+    Ok(parsed)
 }
 
 /// Parse a batch request body into validated experiment specs.
@@ -186,7 +196,10 @@ mod tests {
         assert_eq!(specs.len(), 3);
         assert_eq!(specs[0].to_spec_string(), "frl:high5:full:plain");
         assert_eq!(specs[1].to_spec_string(), "trav:low2:none:tagbr");
-        assert_eq!(specs[2].config, tagstudy::Config::baseline(CheckingMode::Full));
+        assert_eq!(
+            specs[2].config,
+            tagstudy::Config::baseline(CheckingMode::Full)
+        );
     }
 
     #[test]
@@ -198,17 +211,67 @@ mod tests {
         ]}"#;
         let specs = parse_batch(body).unwrap();
         assert_eq!(specs.len(), 3);
-        assert!(specs[0].program.starts_with("inline:"), "{}", specs[0].program);
+        assert!(
+            specs[0].program.starts_with("inline:"),
+            "{}",
+            specs[0].program
+        );
         assert_eq!(
             specs[0].program, specs[1].program,
             "same source, same content-derived name"
         );
         assert_eq!(specs[0].source.as_deref(), Some("(print 1)"));
         assert_eq!(specs[0].heap_semi_bytes, Some(65536));
-        assert_eq!(specs[0].to_spec_string(), format!("{}:low2:none:tagbr", specs[0].program));
-        assert_eq!(specs[1].config, tagstudy::Config::baseline(CheckingMode::Full));
+        assert_eq!(
+            specs[0].to_spec_string(),
+            format!("{}:low2:none:tagbr", specs[0].program)
+        );
+        assert_eq!(
+            specs[1].config,
+            tagstudy::Config::baseline(CheckingMode::Full)
+        );
         assert_eq!(specs[1].heap_semi_bytes, None);
         assert_eq!(specs[2].source, None);
+    }
+
+    /// The wire protocol accepts a backend everywhere a spec does — string
+    /// key and object field — and the backend never changes the spec string
+    /// (which feeds cache keys and content addresses).
+    #[test]
+    fn backend_rides_along_without_changing_identity() {
+        use mipsx::Backend;
+        let body = br#"{"experiments": [
+            "frl:backend=classic",
+            {"program": "trav", "backend": "ref"},
+            {"source": "(print 1)", "backend": "classic"},
+            {"program": "boyer"}
+        ]}"#;
+        let specs = parse_batch(body).unwrap();
+        assert_eq!(specs[0].config.backend, Backend::Classic);
+        assert_eq!(specs[1].config.backend, Backend::Ref);
+        assert_eq!(specs[2].config.backend, Backend::Classic);
+        assert_eq!(specs[3].config.backend, Backend::default());
+        for s in &specs {
+            assert!(
+                !s.to_spec_string().contains("backend"),
+                "{}: backend must not leak into the canonical spec string",
+                s.to_spec_string()
+            );
+        }
+        // Same store key regardless of backend.
+        let a = StoreKey::compute("src", &specs[1].config);
+        let b = StoreKey::compute("src", &specs[1].config.with_backend(Backend::Fast));
+        assert_eq!(a.as_str(), b.as_str(), "backend must not split addresses");
+    }
+
+    /// Unknown backend values take the canonical error paths of both shapes.
+    #[test]
+    fn bad_backends_are_rejected() {
+        let err = parse_batch(br#"{"experiments": ["frl:backend=turbo"]}"#).unwrap_err();
+        assert!(err.contains("unknown backend \"turbo\""), "{err}");
+        let err = parse_batch(br#"{"experiments": [{"program": "frl", "backend": "turbo"}]}"#)
+            .unwrap_err();
+        assert!(err.contains("unknown backend \"turbo\""), "{err}");
     }
 
     #[test]

@@ -154,8 +154,16 @@ fn warm_restart_answers_without_simulating() {
         "zero simulations since restart:\n{metrics}"
     );
     assert_eq!(metric(&metrics, "session_seeded_total"), 3);
-    assert_eq!(metric(&metrics, "session_cache_hits_total"), 3, "one hit per spec");
-    assert_eq!(metric(&metrics, "store_puts_total"), 0, "nothing re-written");
+    assert_eq!(
+        metric(&metrics, "session_cache_hits_total"),
+        3,
+        "one hit per spec"
+    );
+    assert_eq!(
+        metric(&metrics, "store_puts_total"),
+        0,
+        "nothing re-written"
+    );
 
     shutdown(&addr, server);
 }
@@ -186,12 +194,23 @@ fn corrupted_record_is_quarantined_and_recomputed() {
     assert_eq!(warm.seeded, 0, "corrupt record must not seed the session");
     let (status, healed_body) = post(&addr, "/v1/experiments", batch);
     assert_eq!(status, 200, "{healed_body}");
-    assert_eq!(healed_body, clean_body, "recomputed answer matches the original");
+    assert_eq!(
+        healed_body, clean_body,
+        "recomputed answer matches the original"
+    );
 
     let (_, metrics) = get(&addr, "/metrics");
     assert_eq!(metric(&metrics, "store_quarantined_total"), 1, "{metrics}");
-    assert_eq!(metric(&metrics, "session_cache_misses_total"), 1, "recomputed once");
-    assert_eq!(metric(&metrics, "store_records"), 1, "healed by write-through");
+    assert_eq!(
+        metric(&metrics, "session_cache_misses_total"),
+        1,
+        "recomputed once"
+    );
+    assert_eq!(
+        metric(&metrics, "store_records"),
+        1,
+        "healed by write-through"
+    );
 
     shutdown(&addr, server);
 }
@@ -254,7 +273,11 @@ fn shutdown_drains_in_flight_batch() {
     let in_flight = {
         let addr = addr.clone();
         std::thread::spawn(move || {
-            post(&addr, "/v1/experiments", r#"{"experiments": ["boyer:high5:full:plain"]}"#)
+            post(
+                &addr,
+                "/v1/experiments",
+                r#"{"experiments": ["boyer:high5:full:plain"]}"#,
+            )
         })
     };
     // Give the batch a head start into the simulator, then pull the plug.
@@ -263,7 +286,10 @@ fn shutdown_drains_in_flight_batch() {
     assert_eq!(status, 200);
 
     let (status, body) = in_flight.join().unwrap();
-    assert_eq!(status, 200, "in-flight batch completed through shutdown: {body}");
+    assert_eq!(
+        status, 200,
+        "in-flight batch completed through shutdown: {body}"
+    );
     let results = proto::parse_results(&body).unwrap();
     assert_eq!(results.len(), 1);
     assert!(results[0].2.stats.cycles > 0);
@@ -320,7 +346,10 @@ fn bad_requests_are_answered_not_fatal() {
     assert_eq!(status, 400);
     assert!(body.contains("bad store key"), "{body}");
 
-    let missing = StoreKey::compute("no such source", &tagstudy::Config::baseline(tagstudy::CheckingMode::Full));
+    let missing = StoreKey::compute(
+        "no such source",
+        &tagstudy::Config::baseline(tagstudy::CheckingMode::Full),
+    );
     let (status, body) = get(&addr, &format!("/v1/results/{missing}"));
     assert_eq!(status, 404, "{body}");
 

@@ -103,7 +103,9 @@ impl StoreKey {
         if text.len() == 32 && text.bytes().all(|b| matches!(b, b'0'..=b'9' | b'a'..=b'f')) {
             Ok(StoreKey(text.to_string()))
         } else {
-            Err(format!("bad store key {text:?} (want 32 lowercase hex digits)"))
+            Err(format!(
+                "bad store key {text:?} (want 32 lowercase hex digits)"
+            ))
         }
     }
 
@@ -280,9 +282,7 @@ impl ResultStore {
         };
         for entry in entries.flatten() {
             let path = entry.path();
-            if path.extension().and_then(|e| e.to_str()) != Some(RECORD_EXT)
-                || !path.is_file()
-            {
+            if path.extension().and_then(|e| e.to_str()) != Some(RECORD_EXT) || !path.is_file() {
                 continue;
             }
             let Some(stem) = path.file_stem().and_then(|s| s.to_str()) else {
@@ -330,9 +330,7 @@ impl ResultStore {
             .map(|entries| {
                 entries
                     .flatten()
-                    .filter(|e| {
-                        e.path().extension().and_then(|x| x.to_str()) == Some(RECORD_EXT)
-                    })
+                    .filter(|e| e.path().extension().and_then(|x| x.to_str()) == Some(RECORD_EXT))
                     .count()
             })
             .unwrap_or(0)
@@ -360,7 +358,10 @@ impl ResultStore {
     /// left to the next reader. The reason is logged to stderr — the store has
     /// no other channel — and the quarantine counter feeds `/metrics`.
     fn quarantine(&self, path: &Path, why: &str) {
-        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("record");
+        let name = path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .unwrap_or("record");
         let dest = self.root.join("quarantine").join(format!(
             "{name}.{}-{}",
             std::process::id(),

@@ -67,11 +67,8 @@ pub fn config_to_json(c: &Config) -> String {
 fn stats_to_json(s: &Stats) -> String {
     // Map-shaped fields are sorted by their report-order name so the encoding
     // is deterministic regardless of HashMap iteration order.
-    let mut classes: Vec<(&str, u64)> = s
-        .class_counts
-        .iter()
-        .map(|(k, v)| (k.name(), *v))
-        .collect();
+    let mut classes: Vec<(&str, u64)> =
+        s.class_counts.iter().map(|(k, v)| (k.name(), *v)).collect();
     classes.sort_unstable();
     let mut tags: Vec<(String, String, u64)> = s
         .tag_cycles
@@ -188,9 +185,12 @@ fn parse_variant<T: Copy>(
 
 fn config_from_json(v: &Json) -> Result<Config, String> {
     let obj = v.as_object("config")?;
-    let scheme = parse_variant("scheme", get_str(obj, "scheme")?, &tagword::ALL_SCHEMES, |s| {
-        s.name().to_string()
-    })?;
+    let scheme = parse_variant(
+        "scheme",
+        get_str(obj, "scheme")?,
+        &tagword::ALL_SCHEMES,
+        |s| s.name().to_string(),
+    )?;
     let checking = parse_variant(
         "checking",
         get_str(obj, "checking")?,
@@ -201,7 +201,11 @@ fn config_from_json(v: &Json) -> Result<Config, String> {
     let parallel_check = parse_variant(
         "parallel_check",
         get_str(hw_obj, "parallel_check")?,
-        &[ParallelCheck::None, ParallelCheck::Lists, ParallelCheck::All],
+        &[
+            ParallelCheck::None,
+            ParallelCheck::Lists,
+            ParallelCheck::All,
+        ],
         |p| format!("{p:?}"),
     )?;
     let as_u32 = |key: &str| -> Result<u32, String> {
@@ -220,7 +224,10 @@ fn config_from_json(v: &Json) -> Result<Config, String> {
     let int_test_method = parse_variant(
         "int_test_method",
         get_str(obj, "int_test_method")?,
-        &[lisp::IntTestMethod::SignExtend, lisp::IntTestMethod::TagCompare],
+        &[
+            lisp::IntTestMethod::SignExtend,
+            lisp::IntTestMethod::TagCompare,
+        ],
         |m| format!("{m:?}"),
     )?;
     Ok(Config {
@@ -229,6 +236,10 @@ fn config_from_json(v: &Json) -> Result<Config, String> {
         hw,
         preshifted_pair_tag: get_bool(obj, "preshifted_pair_tag")?,
         int_test_method,
+        // The backend is not part of a config's identity (results are
+        // backend-independent), so it is never serialized; loads get the
+        // default.
+        backend: mipsx::Backend::default(),
     })
 }
 
@@ -245,7 +256,9 @@ fn stats_from_json(v: &Json) -> Result<Stats, String> {
     for entry in get(obj, "class_counts")?.as_array("class_counts")? {
         let pair = entry.as_array("class count entry")?;
         let [name, count] = pair else {
-            return Err(format!("class count entry: want [name, count], got {pair:?}"));
+            return Err(format!(
+                "class count entry: want [name, count], got {pair:?}"
+            ));
         };
         let class: InsnClass = parse_variant(
             "insn class",
@@ -253,22 +266,29 @@ fn stats_from_json(v: &Json) -> Result<Stats, String> {
             &ALL_CLASSES,
             |c| c.name().to_string(),
         )?;
-        stats.class_counts.insert(class, count.as_u64("class count")?);
+        stats
+            .class_counts
+            .insert(class, count.as_u64("class count")?);
     }
     for entry in get(obj, "tag_cycles")?.as_array("tag_cycles")? {
         let triple = entry.as_array("tag cycle entry")?;
         let [op, prov, cycles] = triple else {
-            return Err(format!("tag cycle entry: want [op, prov, cycles], got {triple:?}"));
+            return Err(format!(
+                "tag cycle entry: want [op, prov, cycles], got {triple:?}"
+            ));
         };
-        let op: TagOpKind =
-            parse_variant("tag op", op.as_str("tag op")?, &ALL_TAG_OPS, |o| format!("{o:?}"))?;
+        let op: TagOpKind = parse_variant("tag op", op.as_str("tag op")?, &ALL_TAG_OPS, |o| {
+            format!("{o:?}")
+        })?;
         let prov: Provenance = parse_variant(
             "provenance",
             prov.as_str("provenance")?,
             &[Provenance::Base, Provenance::Checking],
             |p| format!("{p:?}"),
         )?;
-        stats.tag_cycles.insert((op, prov), cycles.as_u64("tag cycles")?);
+        stats
+            .tag_cycles
+            .insert((op, prov), cycles.as_u64("tag cycles")?);
     }
     for entry in get(obj, "check_cat_cycles")?.as_array("check_cat_cycles")? {
         let pair = entry.as_array("check cat entry")?;
@@ -281,7 +301,9 @@ fn stats_from_json(v: &Json) -> Result<Stats, String> {
             &ALL_CHECK_CATS,
             |c| format!("{c:?}"),
         )?;
-        stats.check_cat_cycles.insert(cat, cycles.as_u64("check cat cycles")?);
+        stats
+            .check_cat_cycles
+            .insert(cat, cycles.as_u64("check cat cycles")?);
     }
     Ok(stats)
 }
@@ -417,10 +439,14 @@ mod tests {
             &format!("\"format_version\":{}", FORMAT_VERSION + 1),
             1,
         );
-        assert!(record_from_json(&stale).unwrap_err().contains("stale format version"));
+        assert!(record_from_json(&stale)
+            .unwrap_err()
+            .contains("stale format version"));
 
         let flipped = good.replacen("\"cycles\":", "\"cycles\":1", 1);
-        assert!(record_from_json(&flipped).unwrap_err().contains("checksum mismatch"));
+        assert!(record_from_json(&flipped)
+            .unwrap_err()
+            .contains("checksum mismatch"));
 
         assert!(record_from_json(&good[..good.len() / 2]).is_err());
     }

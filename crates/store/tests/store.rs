@@ -134,8 +134,13 @@ fn stale_format_version_is_quarantined_not_served() {
 #[test]
 fn truncated_and_bit_flipped_records_are_quarantined() {
     for (tag, corrupt) in [
-        ("truncate", &(|text: &str| text[..text.len() / 3].to_string()) as &dyn Fn(&str) -> String),
-        ("bitflip", &|text: &str| text.replacen("\"cycles\":3", "\"cycles\":4", 1)),
+        (
+            "truncate",
+            &(|text: &str| text[..text.len() / 3].to_string()) as &dyn Fn(&str) -> String,
+        ),
+        ("bitflip", &|text: &str| {
+            text.replacen("\"cycles\":3", "\"cycles\":4", 1)
+        }),
     ] {
         let scratch = Scratch::new(tag);
         let store = ResultStore::open(&scratch.0).unwrap();
@@ -148,7 +153,10 @@ fn truncated_and_bit_flipped_records_are_quarantined() {
         assert_ne!(mangled, text, "{tag}: corruption must change the file");
         fs::write(&path, mangled).unwrap();
 
-        assert!(store.get(&key).is_none(), "{tag}: corrupt record not served");
+        assert!(
+            store.get(&key).is_none(),
+            "{tag}: corrupt record not served"
+        );
         assert_eq!(store.quarantine_count(), 1, "{tag}");
         assert!(store.load_all().is_empty(), "{tag}");
         assert_eq!(store.stats().quarantined, 1, "{tag}");

@@ -201,9 +201,7 @@ impl Program {
                 Stmt::IfS(c, t, f) => {
                     cc(c) + t.iter().map(cs).sum::<usize>() + f.iter().map(cs).sum::<usize>()
                 }
-                Stmt::Repeat(_, _, body) | Stmt::ForSpine(_, _, body) => {
-                    body.iter().map(cs).sum()
-                }
+                Stmt::Repeat(_, _, body) | Stmt::ForSpine(_, _, body) => body.iter().map(cs).sum(),
             }
         }
         let fns: usize = self
@@ -230,7 +228,10 @@ enum Ctx {
     /// Inside function `idx`; `in_rec` marks the recursive arm, where calls
     /// to other functions are forbidden (keeps the dynamic call tree linear
     /// in the fuel bound).
-    Fn { idx: usize, in_rec: bool },
+    Fn {
+        idx: usize,
+        in_rec: bool,
+    },
     Drive,
 }
 
@@ -420,16 +421,17 @@ impl Gen<'_> {
                 // add1/plus-dense rather than div-dense (division's own
                 // multi-cycle latency would mask the check).
                 let m_arith = self.mix.arith;
-                let op = match self
-                    .rng
-                    .weighted(&[2.0 * m_arith + 1.0, m_arith + 0.6, 0.8, 0.25, 0.25])
-                {
-                    0 => BinOp::Add,
-                    1 => BinOp::Sub,
-                    2 => BinOp::Mul,
-                    3 => BinOp::Quo,
-                    _ => BinOp::Rem,
-                };
+                let op =
+                    match self
+                        .rng
+                        .weighted(&[2.0 * m_arith + 1.0, m_arith + 0.6, 0.8, 0.25, 0.25])
+                    {
+                        0 => BinOp::Add,
+                        1 => BinOp::Sub,
+                        2 => BinOp::Mul,
+                        3 => BinOp::Quo,
+                        _ => BinOp::Rem,
+                    };
                 let a = self.expr(depth - 1, ctx);
                 // A literal-1 operand renders as add1/sub1, so those show up too.
                 let b = if self.rng.chance(0.15) {
@@ -487,10 +489,10 @@ impl Gen<'_> {
     fn stmt(&mut self, nest: u32, loop_depth: u8) -> Stmt {
         let m = self.mix;
         let mut w = [
-            m.arith + m.call + 0.5,       // AccSet
-            m.list * 1.25,                // ConsPush — unchecked allocation
-            m.list * 0.12,                // ListSet — rplaca is check-dense
-            m.vector,                     // VecSet
+            m.arith + m.call + 0.5, // AccSet
+            m.list * 1.25,          // ConsPush — unchecked allocation
+            m.list * 0.12,          // ListSet — rplaca is check-dense
+            m.vector,               // VecSet
             if nest > 0 { m.branch } else { 0.0 },
             // Nested counter loops scale with the arith weight: their
             // lessp+add1 scaffold is exactly the cheap-op/costly-check case,
@@ -619,7 +621,11 @@ pub fn render(p: &Program) -> String {
                 );
             }
             None => {
-                let _ = writeln!(out, "(defun f{idx} ({sig}) {})", r.clamp_small(&f.body, ctx));
+                let _ = writeln!(
+                    out,
+                    "(defun f{idx} ({sig}) {})",
+                    r.clamp_small(&f.body, ctx)
+                );
             }
         }
     }
@@ -743,7 +749,10 @@ impl Render<'_> {
                 }
                 let v = v % self.p.vecs.len();
                 let len = self.p.vecs[v].max(1);
-                (format!("(getv vec{v} {})", self.index(i, len, ctx)), SMALL_BOUND)
+                (
+                    format!("(getv vec{v} {})", self.index(i, len, ctx)),
+                    SMALL_BOUND,
+                )
             }
             E::Neg(a) => {
                 let (s, b) = self.rexpr(a, ctx);
@@ -753,10 +762,7 @@ impl Render<'_> {
             E::IfE(c, a, b) => {
                 let (sa, ba) = self.rexpr(a, ctx);
                 let (sb, bb) = self.rexpr(b, ctx);
-                (
-                    format!("(if {} {sa} {sb})", self.cond(c, ctx)),
-                    ba.max(bb),
-                )
+                (format!("(if {} {sa} {sb})", self.cond(c, ctx)), ba.max(bb))
             }
             E::Call(j, args) => self.call(*j, args, ctx, false),
             E::Funcall(j, args) => self.call(*j, args, ctx, true),

@@ -20,7 +20,7 @@
 use crate::gen;
 use lisp::eval::{eval_source, EvalOptions, EvalOutcome, OpCensus};
 use lisp::{CheckingMode, CompiledProgram};
-use mipsx::{CheckCat, Fault, HwConfig, ParallelCheck, RefCpu, Stats};
+use mipsx::{CheckCat, Executor, Fault, HwConfig, ParallelCheck, RefCpu, Stats};
 use tagstudy::Config;
 use tagword::{TagScheme, ALL_SCHEMES};
 
@@ -104,11 +104,7 @@ pub fn reference(source: &str) -> Result<EvalOutcome, lisp::eval::EvalError> {
 
 /// Check `source` against `expected` under one configuration: result
 /// equality always, census reconciliation too. Returns the mismatch if any.
-pub fn check_config(
-    source: &str,
-    expected: &EvalOutcome,
-    config: &Config,
-) -> Result<(), Mismatch> {
+pub fn check_config(source: &str, expected: &EvalOutcome, config: &Config) -> Result<(), Mismatch> {
     let label = config_label(config);
     let compiled = lisp::compile(source, &config.to_options()).map_err(|e| Mismatch {
         kind: MismatchKind::Compile,
@@ -138,14 +134,20 @@ fn compare(
         return Err(Mismatch {
             kind: MismatchKind::Halt,
             config: label.to_string(),
-            detail: format!("evaluator halt {}, simulated {halt_code}", expected.halt_code),
+            detail: format!(
+                "evaluator halt {}, simulated {halt_code}",
+                expected.halt_code
+            ),
         });
     }
     if output != expected.output {
         return Err(Mismatch {
             kind: MismatchKind::Output,
             config: label.to_string(),
-            detail: format!("evaluator printed {:?}, simulator {output:?}", expected.output),
+            detail: format!(
+                "evaluator printed {:?}, simulator {output:?}",
+                expected.output
+            ),
         });
     }
     Ok(())
@@ -202,7 +204,12 @@ pub fn reconcile(census: &OpCensus, stats: &Stats, config: &Config) -> Result<()
         ),
         (
             CheckCat::Arith,
-            census.arith_certain + if hw.generic_arith { 0 } else { census.arith_addsub },
+            census.arith_certain
+                + if hw.generic_arith {
+                    0
+                } else {
+                    census.arith_addsub
+                },
             census.arith_all + census.float_ops,
         ),
     ];
@@ -252,20 +259,10 @@ pub fn check_rendered(source: &str) -> Result<EvalOutcome, Mismatch> {
 pub fn run_faulted(compiled: &CompiledProgram, fault: Fault) -> Result<(i32, String), String> {
     let mut cpu = RefCpu::new(&compiled.program, compiled.hw, compiled.mem_bytes);
     cpu.inject_fault(fault);
-    let mut steps: u64 = 0;
-    loop {
-        match cpu.step() {
-            Ok(Some(_)) => {
-                steps += 1;
-                if steps > SIM_FUEL {
-                    return Err("faulted run exceeded fuel".into());
-                }
-            }
-            Ok(None) => break,
-            Err(e) => return Err(format!("faulted run: {e:?}")),
-        }
-    }
-    Ok((cpu.halt_code().unwrap_or(-1), cpu.output().to_string()))
+    let out = cpu
+        .run(SIM_FUEL)
+        .map_err(|e| format!("faulted run: {e:?}"))?;
+    Ok((out.halt_code, out.output))
 }
 
 /// Does the oracle catch `fault` when it corrupts this program's execution
@@ -338,6 +335,10 @@ mod tests {
         // branches at all; the differential check must notice.
         let p = gen::generate(2, &OpMix::arith_heavy());
         let config = Config::new(TagScheme::HighTag5, CheckingMode::Full);
-        assert!(caught_by_oracle(&p, &config, Fault::BranchInvert { nth: 1 }));
+        assert!(caught_by_oracle(
+            &p,
+            &config,
+            Fault::BranchInvert { nth: 1 }
+        ));
     }
 }

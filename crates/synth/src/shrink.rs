@@ -319,9 +319,7 @@ mod tests {
                 E::VecRef(_, i) => in_e(i),
                 E::Neg(a) => in_e(a),
                 E::IfE(c, a, b) => in_c(c) || in_e(a) || in_e(b),
-                E::Call(_, args) | E::Funcall(_, args) | E::SelfCall(args) => {
-                    args.iter().any(in_e)
-                }
+                E::Call(_, args) | E::Funcall(_, args) | E::SelfCall(args) => args.iter().any(in_e),
                 _ => false,
             }
         }

@@ -1,17 +1,21 @@
 //! One point in the study's design space.
 
 use std::fmt;
+use std::hash::{Hash, Hasher};
 
 use lisp::{CheckingMode, IntTestMethod, Options};
-use mipsx::HwConfig;
+use mipsx::{Backend, HwConfig};
 use tagword::TagScheme;
 
 /// A tag-implementation configuration: scheme × checking mode × hardware (plus
 /// the §3.1 preshifted-tag ablation).
 ///
 /// `Config` is `Hash + Eq` so that a `(program, Config)` pair can key the
-/// [`Session`](crate::Session) measurement cache.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+/// [`Session`](crate::Session) measurement cache. The execution [`Backend`]
+/// rides along for run routing but is **excluded** from `Eq`/`Hash` (and from
+/// the persistent store's content addresses): all backends produce identical
+/// measurements by construction, so the backend must never split the cache.
+#[derive(Debug, Clone, Copy)]
 pub struct Config {
     /// The tag scheme.
     pub scheme: TagScheme,
@@ -23,6 +27,33 @@ pub struct Config {
     pub preshifted_pair_tag: bool,
     /// §4.1: the integer-test sequence high-tag schemes emit.
     pub int_test_method: IntTestMethod,
+    /// Which simulator backend executes the measurement (not part of the
+    /// config's identity — results are backend-independent).
+    pub backend: Backend,
+}
+
+impl PartialEq for Config {
+    fn eq(&self, other: &Self) -> bool {
+        // `backend` deliberately omitted: see the type docs.
+        self.scheme == other.scheme
+            && self.checking == other.checking
+            && self.hw == other.hw
+            && self.preshifted_pair_tag == other.preshifted_pair_tag
+            && self.int_test_method == other.int_test_method
+    }
+}
+
+impl Eq for Config {}
+
+impl Hash for Config {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        // `backend` deliberately omitted, mirroring `PartialEq`.
+        self.scheme.hash(state);
+        self.checking.hash(state);
+        self.hw.hash(state);
+        self.preshifted_pair_tag.hash(state);
+        self.int_test_method.hash(state);
+    }
 }
 
 impl Config {
@@ -34,6 +65,7 @@ impl Config {
             hw: HwConfig::plain(),
             preshifted_pair_tag: false,
             int_test_method: IntTestMethod::default(),
+            backend: Backend::default(),
         }
     }
 
@@ -45,6 +77,11 @@ impl Config {
     /// Replace the hardware.
     pub fn with_hw(self, hw: HwConfig) -> Config {
         Config { hw, ..self }
+    }
+
+    /// Replace the execution backend (does not change the config's identity).
+    pub fn with_backend(self, backend: Backend) -> Config {
+        Config { backend, ..self }
     }
 
     /// Convert to compiler options (heap size comes from the benchmark).
@@ -111,11 +148,25 @@ mod tests {
             ..Config::baseline(CheckingMode::Full)
         });
 
-        let map: HashMap<Config, usize> =
-            points.iter().enumerate().map(|(i, c)| (*c, i)).collect();
+        let map: HashMap<Config, usize> = points.iter().enumerate().map(|(i, c)| (*c, i)).collect();
         assert_eq!(map.len(), points.len(), "all points are distinct keys");
         for (i, c) in points.iter().enumerate() {
             assert_eq!(map.get(c), Some(&i), "{c} must round-trip");
+        }
+    }
+
+    /// The backend never splits the cache: two configs differing only in
+    /// backend are the same key, hash, and display string.
+    #[test]
+    fn backend_is_excluded_from_identity() {
+        let base = Config::baseline(CheckingMode::Full);
+        for backend in mipsx::ALL_BACKENDS {
+            let c = base.with_backend(backend);
+            assert_eq!(base, c, "{backend}");
+            assert_eq!(base.to_string(), c.to_string(), "{backend}");
+            let mut set = std::collections::HashSet::new();
+            set.insert(base);
+            assert!(set.contains(&c), "{backend} must hit the same cache slot");
         }
     }
 }

@@ -71,4 +71,5 @@ pub use config::Config;
 pub use lisp::CheckingMode;
 pub use measure::{run_benchmark, run_program, InlineProgram, Measurement, StudyError, Timing};
 pub use metrics::{Event, Histogram, Json, MetricsRegistry};
+pub use mipsx::Backend;
 pub use session::{Progress, Session, SessionStats};

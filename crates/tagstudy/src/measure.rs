@@ -71,7 +71,10 @@ impl InlineProgram {
     /// # Errors
     ///
     /// Propagates [`lisp::CompileError`].
-    pub fn compile(&self, opts: &lisp::Options) -> Result<lisp::CompiledProgram, lisp::CompileError> {
+    pub fn compile(
+        &self,
+        opts: &lisp::Options,
+    ) -> Result<lisp::CompiledProgram, lisp::CompileError> {
         let opts = lisp::Options {
             heap_semi_bytes: self.heap_semi_bytes.unwrap_or(opts.heap_semi_bytes),
             ..*opts
@@ -201,10 +204,11 @@ pub fn run_benchmark_timed(
         })?;
     let compile_time = compile_start.elapsed();
     let sim_start = Instant::now();
-    let outcome = lisp::run(&compiled, programs::FUEL).map_err(|e| StudyError::Sim {
-        program: b.name.to_string(),
-        message: e.to_string(),
-    })?;
+    let outcome =
+        lisp::run_with(&compiled, config.backend, programs::FUEL).map_err(|e| StudyError::Sim {
+            program: b.name.to_string(),
+            message: e.to_string(),
+        })?;
     if outcome.halt_code != lisp::exit_code::OK || outcome.output != b.expected_output {
         return Err(StudyError::WrongOutput {
             program: b.name.to_string(),
@@ -260,10 +264,11 @@ pub fn run_inline_timed(
         })?;
     let compile_time = compile_start.elapsed();
     let sim_start = Instant::now();
-    let outcome = lisp::run(&compiled, programs::FUEL).map_err(|e| StudyError::Sim {
-        program: name.to_string(),
-        message: e.to_string(),
-    })?;
+    let outcome =
+        lisp::run_with(&compiled, config.backend, programs::FUEL).map_err(|e| StudyError::Sim {
+            program: name.to_string(),
+            message: e.to_string(),
+        })?;
     let output_ok = p
         .expected_output
         .as_ref()

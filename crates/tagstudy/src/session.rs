@@ -137,8 +137,8 @@ impl std::fmt::Debug for Session {
 impl Session {
     /// A session with an empty cache and one worker per available core.
     pub fn new() -> Session {
-        let parallelism = std::thread::available_parallelism()
-            .unwrap_or(NonZeroUsize::new(4).expect("non-zero"));
+        let parallelism =
+            std::thread::available_parallelism().unwrap_or(NonZeroUsize::new(4).expect("non-zero"));
         Session {
             cache: HashMap::new(),
             sources: HashMap::new(),
@@ -458,9 +458,11 @@ impl Session {
         obs: &mut O,
     ) -> Result<Measurement, StudyError> {
         let outcome =
-            lisp::run_observed(compiled, fuel, obs).map_err(|e| StudyError::Sim {
-                program: program.to_string(),
-                message: e.to_string(),
+            lisp::run_observed_with(compiled, config.backend, fuel, obs).map_err(|e| {
+                StudyError::Sim {
+                    program: program.to_string(),
+                    message: e.to_string(),
+                }
             })?;
         let expected: Option<&str> = match self.resolve(program).expect("compiled above") {
             Source::Builtin(b) => Some(b.expected_output),
@@ -692,12 +694,12 @@ impl Session {
                 Source::Inline(p) => run_inline_timed(name, p, config),
             }
         }))
-            .unwrap_or_else(|payload| {
-                Err(StudyError::Sim {
-                    program: name.to_owned(),
-                    message: format!("measurement worker panicked: {}", panic_text(&payload)),
-                })
-            });
+        .unwrap_or_else(|payload| {
+            Err(StudyError::Sim {
+                program: name.to_owned(),
+                message: format!("measurement worker panicked: {}", panic_text(&payload)),
+            })
+        });
         if let Ok((_, timing)) = &result {
             self.emit(&Progress::Finished {
                 program: name.to_owned(),
@@ -743,7 +745,9 @@ mod tests {
     fn batch_duplicates_measure_once() {
         let mut s = Session::new();
         let cfg = Config::baseline(CheckingMode::None);
-        let out = s.measure_many(&[("frl", cfg), ("frl", cfg), ("frl", cfg)]).unwrap();
+        let out = s
+            .measure_many(&[("frl", cfg), ("frl", cfg), ("frl", cfg)])
+            .unwrap();
         assert_eq!(out.len(), 3);
         assert_eq!(s.stats().misses, 1, "in-flight dedup");
         assert_eq!(s.stats().hits, 2);
@@ -977,7 +981,8 @@ mod tests {
     #[test]
     fn summary_mentions_cache_and_split() {
         let mut s = Session::new();
-        s.measure("frl", Config::baseline(CheckingMode::None)).unwrap();
+        s.measure("frl", Config::baseline(CheckingMode::None))
+            .unwrap();
         let text = s.summary();
         assert!(text.contains("1 measurements cached"), "{text}");
         assert!(text.contains("compile"), "{text}");

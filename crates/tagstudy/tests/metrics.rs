@@ -53,7 +53,9 @@ fn session_metrics_schema_is_sane() {
     assert_eq!(m.gauge(names::POOL_PEAK_OCCUPANCY), Some(1.0));
 
     for name in [names::COMPILE_SECONDS, names::SIMULATE_SECONDS] {
-        let h = m.histogram(name).unwrap_or_else(|| panic!("{name} missing"));
+        let h = m
+            .histogram(name)
+            .unwrap_or_else(|| panic!("{name} missing"));
         assert_eq!(h.count, 2, "{name}: one observation per measurement");
         assert_eq!(h.counts.len(), h.buckets.len() + 1, "{name}");
         assert_eq!(h.counts.iter().sum::<u64>(), h.count, "{name}");

@@ -24,8 +24,7 @@ fn expected_path() -> PathBuf {
 fn all_experiments_report_matches_golden() {
     let mut session = tagstudy::Session::new();
     let names = tagstudy::tables::default_programs();
-    let got =
-        tagstudy::report::full_report(&mut session, &names).expect("the report regenerates");
+    let got = tagstudy::report::full_report(&mut session, &names).expect("the report regenerates");
 
     let path = expected_path();
     if std::env::var_os("UPDATE_EXPECTED").is_some() {
