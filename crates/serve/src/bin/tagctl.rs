@@ -7,11 +7,16 @@
 //! tagctl [--addr HOST:PORT] metrics [--watch SECS]  scrape /metrics (repeatedly)
 //! tagctl [--addr HOST:PORT] health             liveness probe
 //! tagctl [--addr HOST:PORT] shutdown           ask the daemon to drain and exit
+//! tagctl [--addr HOST:PORT] fuzz [...]         drive a differential-fuzzing campaign
 //! ```
+//!
+//! The argument grammar lives in [`serve::cli`]; this binary only does I/O.
 
 use std::process::exit;
 use std::time::Duration;
 
+use serve::cli::{self, Command};
+use serve::fleet;
 use serve::http::{fetch, json_string};
 use serve::proto;
 
@@ -28,6 +33,10 @@ fn usage() -> ! {
          \u{20} metrics [--watch SECS]    scrape /metrics (with --watch: forever)\n\
          \u{20} health                    liveness probe (exit 0 iff the daemon answers ok)\n\
          \u{20} shutdown                  ask the daemon to drain in-flight work and exit\n\
+         \u{20} fuzz [--smoke] [--resume] [--local] [--witness-dir DIR]\n\
+         \u{20}      [--seed-base N] [--axis-points N] [--per-cell N] [--max-programs N]\n\
+         \u{20}      [--backends a,b] [--inject-fault NAME:N] [--replay KEY]\n\
+         \u{20}                           differential-fuzz the matrix through the daemon\n\
          \n\
          Default address {DEFAULT_ADDR} (override with --addr or TAGSTUDYD_ADDR).\n\
          {}",
@@ -50,26 +59,7 @@ fn call(addr: &str, method: &str, path: &str, body: &[u8]) -> (u16, String) {
     }
 }
 
-fn submit(addr: &str, args: &[String]) {
-    let mut raw_json = false;
-    let mut specs: Vec<&str> = Vec::new();
-    for arg in args {
-        match arg.as_str() {
-            "--json" => raw_json = true,
-            other => specs.push(other),
-        }
-    }
-    if specs.is_empty() {
-        eprintln!("tagctl submit: no specs given\n");
-        usage();
-    }
-    // Validate client-side first: a typo earns a usage message, not a 400.
-    for spec in &specs {
-        if let Err(why) = bench::spec::parse_spec(spec) {
-            eprintln!("tagctl submit: {why}\n\n{}", bench::spec::spec_grammar());
-            exit(2);
-        }
-    }
+fn submit(addr: &str, raw_json: bool, specs: &[String]) {
     let body = format!(
         "{{\"experiments\":[{}]}}",
         specs
@@ -103,25 +93,7 @@ fn submit(addr: &str, args: &[String]) {
     }
 }
 
-fn metrics(addr: &str, args: &[String]) {
-    let mut watch: Option<u64> = None;
-    let mut i = 0;
-    while i < args.len() {
-        match args[i].as_str() {
-            "--watch" => {
-                let secs = args.get(i + 1).unwrap_or_else(|| {
-                    eprintln!("tagctl metrics: --watch needs seconds\n");
-                    usage()
-                });
-                watch = Some(
-                    secs.parse()
-                        .unwrap_or_else(|_| die(&format!("bad --watch value {secs:?}"))),
-                );
-                i += 2;
-            }
-            other => die(&format!("metrics: unexpected argument {other:?}")),
-        }
-    }
+fn metrics(addr: &str, watch: Option<u64>) {
     loop {
         let (status, text) = call(addr, "GET", "/metrics", b"");
         if status != 200 {
@@ -135,48 +107,36 @@ fn metrics(addr: &str, args: &[String]) {
 }
 
 fn main() {
-    let mut addr = std::env::var("TAGSTUDYD_ADDR").unwrap_or_else(|_| DEFAULT_ADDR.to_string());
-    let mut args: Vec<String> = std::env::args().skip(1).collect();
-    if args.first().map(String::as_str) == Some("--addr") {
-        if args.len() < 2 {
-            eprintln!("tagctl: --addr needs a value\n");
-            usage();
-        }
-        addr = args[1].clone();
-        args.drain(..2);
-    }
-    let Some(command) = args.first().cloned() else {
-        usage()
-    };
-    let rest = &args[1..];
-    match command.as_str() {
-        "submit" => submit(&addr, rest),
-        "result" => {
-            let [key] = rest else {
-                eprintln!("tagctl result: want exactly one KEY\n");
-                usage();
-            };
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let invocation = cli::parse(&args).unwrap_or_else(|why| {
+        eprintln!("tagctl: {why}\n");
+        usage();
+    });
+    let addr = invocation
+        .addr
+        .or_else(|| std::env::var("TAGSTUDYD_ADDR").ok())
+        .unwrap_or_else(|| DEFAULT_ADDR.to_string());
+    match invocation.command {
+        Command::Help => usage(),
+        Command::Submit { json, specs } => submit(&addr, json, &specs),
+        Command::Result { key } => {
             let (status, text) = call(&addr, "GET", &format!("/v1/results/{key}"), b"");
             if status != 200 {
                 die(&format!("daemon answered {status}: {}", text.trim_end()));
             }
             print!("{text}");
         }
-        "metrics" => metrics(&addr, rest),
-        "health" => {
+        Command::Metrics { watch } => metrics(&addr, watch),
+        Command::Health => {
             let (status, text) = call(&addr, "GET", "/healthz", b"");
             print!("{text}");
             exit(i32::from(status != 200));
         }
-        "shutdown" => {
+        Command::Shutdown => {
             let (status, text) = call(&addr, "POST", "/v1/shutdown", b"");
             print!("{text}");
             exit(i32::from(status != 200));
         }
-        "--help" | "-h" => usage(),
-        other => {
-            eprintln!("tagctl: unknown command {other:?}\n");
-            usage();
-        }
+        Command::Fuzz(fuzz_args) => exit(fleet::run_fuzz(&addr, &fuzz_args)),
     }
 }

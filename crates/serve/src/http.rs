@@ -131,17 +131,25 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Request, String> {
     let (Some(method), Some(path)) = (parts.next(), parts.next()) else {
         return Err(format!("malformed request line {request_line:?}"));
     };
-    let mut content_length = 0usize;
+    let mut content_length: Option<usize> = None;
     for line in lines {
         if let Some((name, value)) = line.split_once(':') {
             if name.eq_ignore_ascii_case("content-length") {
-                content_length = value
-                    .trim()
-                    .parse()
-                    .map_err(|_| format!("bad Content-Length {value:?}"))?;
+                // Strict by design: duplicates are a smuggling vector, and
+                // `parse::<usize>()` alone would accept "+5".
+                if content_length.is_some() {
+                    return Err("duplicate Content-Length header".to_string());
+                }
+                let text = value.trim();
+                if text.is_empty() || !text.bytes().all(|b| b.is_ascii_digit()) {
+                    return Err(format!("bad Content-Length {value:?}"));
+                }
+                content_length =
+                    Some(text.parse().map_err(|_| format!("bad Content-Length {value:?}"))?);
             }
         }
     }
+    let content_length = content_length.unwrap_or(0);
     if content_length > MAX_BODY {
         return Err(format!("request body exceeds {MAX_BODY} bytes"));
     }

@@ -30,6 +30,8 @@
 
 #![deny(missing_docs)]
 
+pub mod cli;
+pub mod fleet;
 pub mod http;
 pub mod proto;
 
@@ -68,6 +70,22 @@ pub mod daemon_metrics {
     pub const QUEUE_DEPTH: &str = "daemon_queue_depth";
     /// Gauge: highest queue depth observed.
     pub const QUEUE_PEAK: &str = "daemon_queue_peak_depth";
+    /// Counter: uncached differential-fuzz batches served (`/v1/fuzz/run`).
+    pub const FUZZ_RUNS: &str = "daemon_fuzz_runs_total";
+    /// Counter: matrix columns executed across all fuzz batches.
+    pub const FUZZ_COLUMNS: &str = "daemon_fuzz_columns_total";
+    /// Counter: programs a fuzz campaign reported completing.
+    pub const FUZZ_PROGRAMS: &str = "daemon_fuzz_programs_total";
+    /// Counter: columns a fuzz campaign reported skipping (resume coverage).
+    pub const FUZZ_SKIPPED: &str = "daemon_fuzz_columns_skipped_total";
+    /// Counter: divergences a fuzz campaign reported.
+    pub const FUZZ_DIVERGENCES: &str = "daemon_fuzz_divergences_total";
+    /// Counter: witnesses a fuzz campaign reported archiving.
+    pub const FUZZ_WITNESSES: &str = "daemon_fuzz_witnesses_total";
+    /// Gauge: the reporting campaign's coverage-ledger saturation (percent).
+    pub const FUZZ_COVERAGE: &str = "daemon_fuzz_coverage_percent";
+    /// Gauge: the reporting campaign's recent throughput (columns/second).
+    pub const FUZZ_RATE: &str = "daemon_fuzz_columns_per_second";
 }
 
 /// Tuning knobs for [`Server::start`].
@@ -393,6 +411,8 @@ impl Daemon {
             ("GET", "/healthz") => Response::text(200, "ok\n"),
             ("GET", "/metrics") => Response::text(200, self.metrics_prometheus()),
             ("POST", "/v1/experiments") => self.handle_batch(&request.body),
+            ("POST", "/v1/fuzz/run") => self.handle_fuzz_run(&request.body),
+            ("POST", "/v1/fuzz/report") => self.handle_fuzz_report(&request.body),
             ("GET", path) if path.starts_with("/v1/results/") => {
                 self.handle_result(&path["/v1/results/".len()..])
             }
@@ -400,9 +420,11 @@ impl Daemon {
                 self.shutdown();
                 Response::json(200, "{\"status\":\"shutting down\"}\n")
             }
-            (_, "/healthz" | "/metrics" | "/v1/experiments" | "/v1/shutdown") => {
-                Response::error(405, &format!("wrong method for {}", request.path))
-            }
+            (
+                _,
+                "/healthz" | "/metrics" | "/v1/experiments" | "/v1/fuzz/run" | "/v1/fuzz/report"
+                | "/v1/shutdown",
+            ) => Response::error(405, &format!("wrong method for {}", request.path)),
             _ => Response::error(404, &format!("no route for {}", request.path)),
         }
     }
@@ -461,6 +483,114 @@ impl Daemon {
             }
             Err(e) => Response::error(500, &format!("measurement failed: {e}")),
         }
+    }
+
+    /// The differential-fuzzing execution path: like a batch, but every spec
+    /// is measured **uncached**. The session cache keys on `(program,
+    /// config)` with the backend deliberately excluded (results are
+    /// backend-independent *by design* — which is exactly the property a
+    /// differential fuzzer must not assume), so the cached path would
+    /// collapse a classic-vs-fast fan-out into one execution. This route
+    /// always compiles and simulates, per spec, on the spec's own backend.
+    fn handle_fuzz_run(&self, body: &[u8]) -> Response {
+        let specs = match proto::parse_batch(body) {
+            Ok(specs) => specs,
+            Err(why) => return Response::error(400, &why),
+        };
+        let mut session = self.session.lock().unwrap_or_else(|e| e.into_inner());
+        for spec in &specs {
+            if let Some(source) = &spec.source {
+                let mut program = tagstudy::InlineProgram::new(source.clone());
+                if let Some(heap) = spec.heap_semi_bytes {
+                    program = program.with_heap(heap);
+                }
+                session.register_source(&spec.program, program);
+            }
+        }
+        let mut entries: Vec<(ExperimentSpec, StoreKey, tagstudy::Measurement)> = Vec::new();
+        for spec in specs {
+            match session.measure_uncached(&spec.program, spec.config) {
+                Ok(m) => {
+                    let source = match &spec.source {
+                        Some(text) => text.as_str(),
+                        None => {
+                            programs::by_name(&spec.program)
+                                .expect("named spec validated against the registry")
+                                .source
+                        }
+                    };
+                    let key = StoreKey::compute(source, &spec.config);
+                    entries.push((spec, key, m));
+                }
+                // One failing spec fails the whole batch: the client retries
+                // spec-by-spec to pin down which column refused (a refusal
+                // *is* a differential signal — e.g. a halt-code mismatch the
+                // measurement validator catches before the client could).
+                Err(e) => {
+                    drop(session);
+                    return Response::error(
+                        500,
+                        &format!("fuzz run failed: {}: {e}", spec.to_spec_string()),
+                    );
+                }
+            }
+        }
+        drop(session);
+        {
+            let mut m = self.lock_metrics();
+            m.inc(daemon_metrics::FUZZ_RUNS);
+            m.add(daemon_metrics::FUZZ_COLUMNS, entries.len() as u64);
+        }
+        Response::json(200, proto::results_json(&entries))
+    }
+
+    /// Campaign telemetry sink: the fuzz driver posts per-batch deltas and
+    /// the current coverage/throughput gauges, and `/metrics` republishes
+    /// them. Body: `{"programs":Δ,"columns":Δ,"skipped":Δ,"divergences":Δ,
+    /// "witnesses":Δ,"coverage_percent":x,"columns_per_second":x}` — every
+    /// field optional.
+    fn handle_fuzz_report(&self, body: &[u8]) -> Response {
+        let text = match std::str::from_utf8(body) {
+            Ok(text) => text,
+            Err(_) => return Response::error(400, "body is not UTF-8"),
+        };
+        let root = match tagstudy::Json::parse(text) {
+            Ok(root) => root,
+            Err(why) => return Response::error(400, &why),
+        };
+        let obj = match root.as_object("fuzz report") {
+            Ok(obj) => obj,
+            Err(why) => return Response::error(400, &why),
+        };
+        let counters = [
+            ("programs", daemon_metrics::FUZZ_PROGRAMS),
+            ("columns", daemon_metrics::FUZZ_COLUMNS),
+            ("skipped", daemon_metrics::FUZZ_SKIPPED),
+            ("divergences", daemon_metrics::FUZZ_DIVERGENCES),
+            ("witnesses", daemon_metrics::FUZZ_WITNESSES),
+        ];
+        let gauges = [
+            ("coverage_percent", daemon_metrics::FUZZ_COVERAGE),
+            ("columns_per_second", daemon_metrics::FUZZ_RATE),
+        ];
+        let mut m = self.lock_metrics();
+        for (field, metric) in counters {
+            if let Some((_, v)) = obj.iter().find(|(k, _)| k == field) {
+                match v.as_u64(field) {
+                    Ok(n) => m.add(metric, n),
+                    Err(why) => return Response::error(400, &why),
+                }
+            }
+        }
+        for (field, metric) in gauges {
+            if let Some((_, v)) = obj.iter().find(|(k, _)| k == field) {
+                match v.as_f64(field) {
+                    Ok(x) => m.set_gauge(metric, x),
+                    Err(why) => return Response::error(400, &why),
+                }
+            }
+        }
+        Response::json(200, "{\"status\":\"ok\"}\n")
     }
 
     fn handle_result(&self, key_text: &str) -> Response {

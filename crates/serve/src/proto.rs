@@ -337,6 +337,8 @@ mod tests {
                 source_lines: 2,
                 object_words: 3,
             },
+            halt_code: 0,
+            output: "9\n".to_string(),
         };
         let key = StoreKey::compute("fake source", &spec.config);
         let doc = results_json(&[(spec.clone(), key.clone(), m.clone())]);

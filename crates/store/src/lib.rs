@@ -32,6 +32,7 @@
 
 #![deny(missing_docs)]
 
+pub mod fuzz;
 pub mod record;
 
 use std::fmt;
@@ -44,8 +45,9 @@ use tagstudy::{Config, Measurement, Timing};
 
 /// Version of the on-disk record format. Bump on any encoding change; records
 /// carrying any other version are quarantined on read (stale, not corrupt —
-/// but equally untrusted).
-pub const FORMAT_VERSION: u64 = 1;
+/// but equally untrusted). v2 added `halt_code`/`output` to the measurement
+/// encoding.
+pub const FORMAT_VERSION: u64 = 2;
 
 /// Extension of record files under the store root.
 const RECORD_EXT: &str = "rec";
@@ -54,7 +56,7 @@ const RECORD_EXT: &str = "rec";
 /// per-handle: several `ResultStore` handles on one directory (one per daemon
 /// thread, or tests) must never generate the same temp name, or a concurrent
 /// writer's rename source can be snatched from under it.
-static NAME_SEQ: AtomicU64 = AtomicU64::new(0);
+pub(crate) static NAME_SEQ: AtomicU64 = AtomicU64::new(0);
 
 /// The 64-bit FNV-1a hash — the store's checksum, and (applied twice with
 /// different offset bases) its content-address hash. Self-contained so the
@@ -85,10 +87,17 @@ impl StoreKey {
     /// configuration, or the record format yields a different address — which
     /// is exactly the invalidation the cache wants.
     pub fn compute(source: &str, config: &Config) -> StoreKey {
-        let material = format!(
+        StoreKey::of_material(&format!(
             "tagstudy-store/v{FORMAT_VERSION}\0{source}\0{}",
             record::config_to_json(config)
-        );
+        ))
+    }
+
+    /// The content address of arbitrary key material: two independently-seeded
+    /// 64-bit FNV-1a hashes concatenated. [`StoreKey::compute`] frames
+    /// measurement records with this; other record kinds (the fuzzing
+    /// fleet's witnesses, see [`crate::fuzz`]) frame their own material.
+    pub fn of_material(material: &str) -> StoreKey {
         let lo = fnv1a64(material.as_bytes());
         let hi = fnv1a64_seeded(0x6c62_272e_07bb_0142, material.as_bytes());
         StoreKey(format!("{hi:016x}{lo:016x}"))

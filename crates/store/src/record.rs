@@ -112,13 +112,15 @@ fn stats_to_json(s: &Stats) -> String {
 pub fn measurement_to_json(m: &Measurement) -> String {
     format!(
         "{{\"program\":{},\"config\":{},\"stats\":{},\"compile\":{{\"procedures\":{},\
-         \"source_lines\":{},\"object_words\":{}}}}}",
+         \"source_lines\":{},\"object_words\":{}}},\"halt_code\":{},\"output\":{}}}",
         json_str(&m.program),
         config_to_json(&m.config),
         stats_to_json(&m.stats),
         m.compile.procedures,
         m.compile.source_lines,
         m.compile.object_words,
+        m.halt_code,
+        json_str(&m.output),
     )
 }
 
@@ -183,7 +185,15 @@ fn parse_variant<T: Copy>(
         .ok_or_else(|| format!("{what}: unknown variant {name:?}"))
 }
 
-fn config_from_json(v: &Json) -> Result<Config, String> {
+/// Decode a [`Config`] from its [`config_to_json`] encoding. The backend is
+/// never serialized (it is not part of a config's identity), so decoded
+/// configs carry [`mipsx::Backend::default`]; callers that routed a specific
+/// backend must re-apply it.
+///
+/// # Errors
+///
+/// A description of the first schema violation.
+pub fn config_from_json(v: &Json) -> Result<Config, String> {
     let obj = v.as_object("config")?;
     let scheme = parse_variant(
         "scheme",
@@ -319,6 +329,12 @@ pub fn measurement_from_json(v: &Json) -> Result<Measurement, String> {
     let as_usize = |key: &str| -> Result<usize, String> {
         usize::try_from(get_u64(compile_obj, key)?).map_err(|_| format!("{key}: out of range"))
     };
+    let halt_code = match get(obj, "halt_code")? {
+        Json::Num(n) => n
+            .parse::<i32>()
+            .map_err(|_| format!("halt_code: not a 32-bit integer: {n:?}"))?,
+        other => return Err(format!("halt_code: expected number, got {other:?}")),
+    };
     Ok(Measurement {
         program: get_str(obj, "program")?.to_string(),
         config: config_from_json(get(obj, "config")?)?,
@@ -328,6 +344,8 @@ pub fn measurement_from_json(v: &Json) -> Result<Measurement, String> {
             source_lines: as_usize("source_lines")?,
             object_words: as_usize("object_words")?,
         },
+        halt_code,
+        output: get_str(obj, "output")?.to_string(),
     })
 }
 
@@ -398,6 +416,8 @@ mod tests {
                 source_lines: 314,
                 object_words: 2718,
             },
+            halt_code: 0,
+            output: "42\nt\n".to_string(),
         }
     }
 

@@ -6,7 +6,7 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
-use store::{record, ResultStore, StoreKey, FORMAT_VERSION};
+use store::{ResultStore, StoreKey, FORMAT_VERSION};
 use tagstudy::{CheckingMode, Config, Measurement, Timing};
 
 static DIR_SEQ: AtomicU64 = AtomicU64::new(0);
@@ -48,6 +48,8 @@ fn measurement(program: &str, config: Config, cycles: u64) -> Measurement {
             source_lines: 70,
             object_words: 700,
         },
+        halt_code: 0,
+        output: "ok\n".to_string(),
     }
 }
 

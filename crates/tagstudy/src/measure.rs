@@ -168,6 +168,14 @@ pub struct Measurement {
     pub stats: Stats,
     /// Static statistics.
     pub compile: CompileStats,
+    /// Exit code of the simulated run. Validation guarantees
+    /// [`lisp::exit_code::OK`] on every path that produces a `Measurement`,
+    /// but the field is carried explicitly so result consumers (the daemon's
+    /// differential-fuzzing clients in particular) can diff it instead of
+    /// trusting the producer.
+    pub halt_code: i32,
+    /// Everything the simulated run printed.
+    pub output: String,
 }
 
 /// Host-side wall time of one measurement, split compile vs simulate.
@@ -226,6 +234,8 @@ pub fn run_benchmark_timed(
             config: *config,
             stats: outcome.stats,
             compile: compiled.stats,
+            halt_code: outcome.halt_code,
+            output: outcome.output,
         },
         timing,
     ))
@@ -290,6 +300,8 @@ pub fn run_inline_timed(
             config: *config,
             stats: outcome.stats,
             compile: compiled.stats,
+            halt_code: outcome.halt_code,
+            output: outcome.output,
         },
         timing,
     ))

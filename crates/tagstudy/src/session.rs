@@ -481,6 +481,8 @@ impl Session {
             config,
             stats: outcome.stats,
             compile: compiled.stats,
+            halt_code: outcome.halt_code,
+            output: outcome.output,
         })
     }
 
