@@ -8,17 +8,26 @@
 //! tagctl [--addr HOST:PORT] health             liveness probe
 //! tagctl [--addr HOST:PORT] shutdown           ask the daemon to drain and exit
 //! tagctl [--addr HOST:PORT] fuzz [...]         drive a differential-fuzzing campaign
+//! tagctl [--addr HOST:PORT] trace [--chrome|--slow|ID]  inspect the flight recorder
+//! tagctl [--addr HOST:PORT] top [--watch SECS] per-endpoint latency summary
 //! ```
 //!
 //! The argument grammar lives in [`serve::cli`]; this binary only does I/O.
+//!
+//! `submit` originates a trace: it sends a `traceparent` header so the
+//! daemon's spans join the client's trace id, and prints that id to stderr
+//! (stdout stays byte-stable for scripts that diff it).
 
 use std::process::exit;
 use std::time::Duration;
 
 use serve::cli::{self, Command};
 use serve::fleet;
-use serve::http::{fetch, json_string};
+use serve::http::{fetch, fetch_headers, json_string};
 use serve::proto;
+use tagstudy::trace::{
+    chrome_trace_json, RecorderSnapshot, TraceContext, TraceRecord, TRACEPARENT_HEADER,
+};
 
 const DEFAULT_ADDR: &str = "127.0.0.1:7099";
 const TIMEOUT: Duration = Duration::from_secs(600);
@@ -37,6 +46,11 @@ fn usage() -> ! {
          \u{20}      [--seed-base N] [--axis-points N] [--per-cell N] [--max-programs N]\n\
          \u{20}      [--backends a,b] [--inject-fault NAME:N] [--replay KEY]\n\
          \u{20}                           differential-fuzz the matrix through the daemon\n\
+         \u{20} trace [--chrome] [--slow] [TRACE_ID]\n\
+         \u{20}                           dump the daemon's flight recorder: recent request\n\
+         \u{20}                           span trees, the slow log, one trace by id, or\n\
+         \u{20}                           Chrome trace-event JSON for chrome://tracing\n\
+         \u{20} top [--watch SECS]        per-endpoint request counts and p50/p90/p99 latency\n\
          \n\
          Default address {DEFAULT_ADDR} (override with --addr or TAGSTUDYD_ADDR).\n\
          {}",
@@ -68,7 +82,22 @@ fn submit(addr: &str, raw_json: bool, specs: &[String]) {
             .collect::<Vec<_>>()
             .join(",")
     );
-    let (status, text) = call(addr, "POST", "/v1/experiments", body.as_bytes());
+    // Originate the trace here: the daemon's request span parents under this
+    // context, so `tagctl trace <id>` finds the whole server-side tree. The
+    // id goes to stderr — stdout is the data channel and stays diffable.
+    let ctx = TraceContext::fresh();
+    eprintln!("tagctl: trace {}", ctx.trace);
+    let (status, text) = match fetch_headers(
+        addr,
+        "POST",
+        "/v1/experiments",
+        body.as_bytes(),
+        TIMEOUT,
+        &[(TRACEPARENT_HEADER, &ctx.to_traceparent())],
+    ) {
+        Ok((status, bytes)) => (status, String::from_utf8_lossy(&bytes).into_owned()),
+        Err(why) => die(&why),
+    };
     if status != 200 {
         die(&format!("daemon answered {status}: {}", text.trim_end()));
     }
@@ -106,6 +135,136 @@ fn metrics(addr: &str, watch: Option<u64>) {
     }
 }
 
+fn trace_cmd(addr: &str, chrome: bool, slow: bool, id: Option<&str>) {
+    if let Some(id) = id {
+        let (status, text) = call(addr, "GET", &format!("/v1/debug/trace/{id}"), b"");
+        if status != 200 {
+            die(&format!("daemon answered {status}: {}", text.trim_end()));
+        }
+        let root = tagstudy::Json::parse(&text).unwrap_or_else(|why| die(&why));
+        let record = TraceRecord::from_json(&root).unwrap_or_else(|why| die(&why));
+        if chrome {
+            print!("{}", chrome_trace_json(&[record]));
+        } else {
+            print!("{}", record.render_tree());
+        }
+        return;
+    }
+    if chrome {
+        // The daemon already speaks trace-event JSON; pass it through.
+        let (status, text) = call(addr, "GET", "/v1/debug/trace?format=chrome", b"");
+        if status != 200 {
+            die(&format!("daemon answered {status}: {}", text.trim_end()));
+        }
+        print!("{text}");
+        return;
+    }
+    let (status, text) = call(addr, "GET", "/v1/debug/trace", b"");
+    if status != 200 {
+        die(&format!("daemon answered {status}: {}", text.trim_end()));
+    }
+    let snapshot = RecorderSnapshot::from_json(&text).unwrap_or_else(|why| die(&why));
+    println!(
+        "flight recorder: {} completed, {} evicted, {} slow (threshold {}ms), {} span(s) dropped",
+        snapshot.stats.completed,
+        snapshot.stats.evicted,
+        snapshot.stats.slow,
+        snapshot.slow_threshold_us / 1000,
+        snapshot.stats.dropped_spans,
+    );
+    let traces = if slow {
+        &snapshot.slow
+    } else {
+        &snapshot.recent
+    };
+    if traces.is_empty() {
+        println!("(no {} traces recorded)", if slow { "slow" } else { "recent" });
+        return;
+    }
+    for record in traces {
+        println!();
+        print!("{}", record.render_tree());
+    }
+}
+
+/// Seconds → a human duration (the quantile gauges are in seconds).
+fn fmt_secs(v: f64) -> String {
+    if v >= 1.0 {
+        format!("{v:.2}s")
+    } else if v >= 0.001 {
+        format!("{:.2}ms", v * 1000.0)
+    } else {
+        format!("{:.0}\u{b5}s", v * 1_000_000.0)
+    }
+}
+
+/// Extract the per-endpoint latency table from one `/metrics` scrape.
+fn render_top(metrics: &str) -> String {
+    use std::collections::BTreeMap;
+    let mut rows: BTreeMap<String, (u64, [Option<f64>; 3])> = BTreeMap::new();
+    let mut in_flight = 0u64;
+    for line in metrics.lines() {
+        if let Some(rest) = line.strip_prefix("daemon_requests_in_flight ") {
+            in_flight = rest.trim().parse::<f64>().unwrap_or(0.0) as u64;
+        } else if let Some(rest) =
+            line.strip_prefix("daemon_request_duration_seconds_count{endpoint=\"")
+        {
+            if let Some((endpoint, value)) = rest.split_once("\"} ") {
+                rows.entry(endpoint.to_string()).or_default().0 =
+                    value.trim().parse().unwrap_or(0);
+            }
+        } else if let Some(rest) =
+            line.strip_prefix("daemon_request_latency_quantile_seconds{endpoint=\"")
+        {
+            if let Some((endpoint, rest)) = rest.split_once("\",quantile=\"") {
+                if let Some((quantile, value)) = rest.split_once("\"} ") {
+                    let slot = match quantile {
+                        "0.5" => 0,
+                        "0.9" => 1,
+                        "0.99" => 2,
+                        _ => continue,
+                    };
+                    rows.entry(endpoint.to_string()).or_default().1[slot] =
+                        value.trim().parse().ok();
+                }
+            }
+        }
+    }
+    let mut out = format!(
+        "{} endpoint(s), {} request(s) in flight\n{:<28} {:>8} {:>9} {:>9} {:>9}\n",
+        rows.len(),
+        in_flight,
+        "ENDPOINT",
+        "COUNT",
+        "P50",
+        "P90",
+        "P99"
+    );
+    for (endpoint, (count, quantiles)) in &rows {
+        let q = |slot: usize| quantiles[slot].map_or("-".to_string(), fmt_secs);
+        out.push_str(&format!(
+            "{endpoint:<28} {count:>8} {:>9} {:>9} {:>9}\n",
+            q(0),
+            q(1),
+            q(2)
+        ));
+    }
+    out
+}
+
+fn top(addr: &str, watch: Option<u64>) {
+    loop {
+        let (status, text) = call(addr, "GET", "/metrics", b"");
+        if status != 200 {
+            die(&format!("daemon answered {status}: {}", text.trim_end()));
+        }
+        print!("{}", render_top(&text));
+        let Some(secs) = watch else { return };
+        println!("--- next refresh in {secs}s ---");
+        std::thread::sleep(Duration::from_secs(secs));
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let invocation = cli::parse(&args).unwrap_or_else(|why| {
@@ -138,5 +297,7 @@ fn main() {
             exit(i32::from(status != 200));
         }
         Command::Fuzz(fuzz_args) => exit(fleet::run_fuzz(&addr, &fuzz_args)),
+        Command::Trace { chrome, slow, id } => trace_cmd(&addr, chrome, slow, id.as_deref()),
+        Command::Top { watch } => top(&addr, watch),
     }
 }

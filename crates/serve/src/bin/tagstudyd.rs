@@ -4,6 +4,7 @@
 //! ```text
 //! tagstudyd [--addr HOST:PORT] [--cache-dir DIR] [--no-cache]
 //!           [--http-workers N] [--queue N] [--queue-deadline-secs N]
+//!           [--trace-capacity N] [--slow-ms N]
 //! ```
 
 use std::process::exit;
@@ -20,13 +21,19 @@ fn usage() -> ! {
     eprintln!(
         "usage: tagstudyd [--addr HOST:PORT] [--cache-dir DIR] [--no-cache]\n\
          \u{20}                [--http-workers N] [--queue N] [--queue-deadline-secs N]\n\
+         \u{20}                [--trace-capacity N] [--slow-ms N]\n\
          \n\
          Serve tag-study experiments over HTTP, write-through caching every\n\
          measurement in DIR (default {DEFAULT_CACHE_DIR}) so a restarted daemon\n\
          answers known batches without simulating. Default address {DEFAULT_ADDR}.\n\
          \n\
+         Every request is traced end-to-end; the flight recorder keeps the\n\
+         last --trace-capacity completed traces plus requests slower than\n\
+         --slow-ms (inspect with `tagctl trace` / GET /v1/debug/trace).\n\
+         \n\
          Endpoints: POST /v1/experiments, GET /v1/results/{{key}}, GET /metrics,\n\
-         GET /healthz, POST /v1/shutdown. See EXPERIMENTS.md for the protocol."
+         GET /healthz, GET /v1/debug/trace, POST /v1/shutdown. See\n\
+         EXPERIMENTS.md for the protocol."
     );
     exit(2);
 }
@@ -67,6 +74,16 @@ fn main() {
                 config.queue_deadline = Duration::from_secs(parse_or_usage(
                     "--queue-deadline-secs",
                     value("--queue-deadline-secs").parse::<u64>(),
+                ));
+            }
+            "--trace-capacity" => {
+                config.trace_capacity =
+                    parse_or_usage("--trace-capacity", value("--trace-capacity").parse::<usize>());
+            }
+            "--slow-ms" => {
+                config.slow_threshold = Duration::from_millis(parse_or_usage(
+                    "--slow-ms",
+                    value("--slow-ms").parse::<u64>(),
                 ));
             }
             "--help" | "-h" => usage(),

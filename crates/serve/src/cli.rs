@@ -48,6 +48,20 @@ pub enum Command {
     Shutdown,
     /// `fuzz [...]` — see [`FuzzArgs`].
     Fuzz(FuzzArgs),
+    /// `trace [--chrome] [--slow] [TRACE_ID]`
+    Trace {
+        /// Dump Chrome trace-event JSON instead of rendered span trees.
+        chrome: bool,
+        /// Show only the slow-request log.
+        slow: bool,
+        /// Show one specific trace (32 lowercase hex digits).
+        id: Option<String>,
+    },
+    /// `top [--watch SECS]` — endpoint latency/traffic summary.
+    Top {
+        /// Re-render forever at this period.
+        watch: Option<u64>,
+    },
 }
 
 /// Parse a `tagctl` argument vector (without the binary name).
@@ -86,6 +100,8 @@ pub fn parse(args: &[String]) -> Result<Invocation, String> {
             Command::Shutdown
         }
         Some("fuzz") => parse_fuzz(&rest)?,
+        Some("trace") => parse_trace(&rest)?,
+        Some("top") => parse_top(&rest)?,
         Some(other) => return Err(format!("unknown command {other:?}")),
     };
     Ok(Invocation { addr, command })
@@ -149,6 +165,54 @@ fn parse_metrics(rest: &[&str]) -> Result<Command, String> {
         }
     }
     Ok(Command::Metrics { watch })
+}
+
+fn parse_trace(rest: &[&str]) -> Result<Command, String> {
+    let mut chrome = false;
+    let mut slow = false;
+    let mut id = None;
+    for arg in rest {
+        match *arg {
+            "--chrome" => chrome = true,
+            "--slow" => slow = true,
+            flag if flag.starts_with('-') => return Err(format!("trace: unknown flag {flag:?}")),
+            text => {
+                if id.is_some() {
+                    return Err(format!("trace: unexpected argument {text:?}"));
+                }
+                // Validate client-side so a typo'd id earns a usage message,
+                // not a daemon 400.
+                if tagstudy::trace::TraceId::from_hex(text).is_none() {
+                    return Err(format!(
+                        "trace: bad trace id {text:?} (want 32 lowercase hex digits)"
+                    ));
+                }
+                id = Some(text.to_string());
+            }
+        }
+    }
+    if id.is_some() && slow {
+        return Err("trace: --slow cannot be combined with a TRACE_ID".to_string());
+    }
+    Ok(Command::Trace { chrome, slow, id })
+}
+
+fn parse_top(rest: &[&str]) -> Result<Command, String> {
+    let mut watch = None;
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        match *arg {
+            "--watch" => {
+                let secs = it.next().ok_or("top: --watch needs seconds")?;
+                watch = Some(
+                    secs.parse()
+                        .map_err(|_| format!("top: bad --watch value {secs:?}"))?,
+                );
+            }
+            other => return Err(format!("top: unexpected argument {other:?}")),
+        }
+    }
+    Ok(Command::Top { watch })
 }
 
 fn parse_fuzz(rest: &[&str]) -> Result<Command, String> {
@@ -320,6 +384,49 @@ mod tests {
             let err = parse_err(&[command, "--force"]);
             assert!(err.contains("unexpected argument"), "{err}");
         }
+    }
+
+    #[test]
+    fn trace_flags_and_id_validation() {
+        assert!(matches!(
+            parse_ok(&["trace"]).command,
+            Command::Trace {
+                chrome: false,
+                slow: false,
+                id: None
+            }
+        ));
+        assert!(matches!(
+            parse_ok(&["trace", "--chrome"]).command,
+            Command::Trace { chrome: true, .. }
+        ));
+        assert!(matches!(
+            parse_ok(&["trace", "--slow"]).command,
+            Command::Trace { slow: true, .. }
+        ));
+        let id = "0123456789abcdef0123456789abcdef";
+        let Command::Trace { id: parsed, .. } = parse_ok(&["trace", id]).command else {
+            panic!("not a trace");
+        };
+        assert_eq!(parsed.as_deref(), Some(id));
+        assert!(parse_err(&["trace", "nothex"]).contains("bad trace id"));
+        assert!(parse_err(&["trace", id, id]).contains("unexpected argument"));
+        assert!(parse_err(&["trace", "--slow", id]).contains("cannot be combined"));
+        assert!(parse_err(&["trace", "--deep"]).contains("unknown flag"));
+    }
+
+    #[test]
+    fn top_watch_is_strict() {
+        assert!(matches!(
+            parse_ok(&["top"]).command,
+            Command::Top { watch: None }
+        ));
+        assert!(matches!(
+            parse_ok(&["top", "--watch", "2"]).command,
+            Command::Top { watch: Some(2) }
+        ));
+        assert!(parse_err(&["top", "--watch"]).contains("needs seconds"));
+        assert!(parse_err(&["top", "now"]).contains("unexpected argument"));
     }
 
     #[test]

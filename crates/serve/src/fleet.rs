@@ -19,7 +19,9 @@ use synth::fleet::{
     RunError, Runner,
 };
 
-use crate::http::{fetch, json_string};
+use tagstudy::trace::{TraceContext, TRACEPARENT_HEADER};
+
+use crate::http::{fetch, fetch_headers, json_string};
 use crate::proto;
 
 /// Client-side timeout per daemon request. Generous: a fuzz batch simulates
@@ -39,12 +41,24 @@ const REPORT_TIMEOUT: Duration = Duration::from_secs(5);
 #[derive(Debug, Clone)]
 pub struct DaemonRunner {
     addr: String,
+    /// The campaign's originating trace context: every fuzz batch carries it
+    /// as a `traceparent`, so the daemon-side request trees of one campaign
+    /// all share a single trace id.
+    ctx: TraceContext,
 }
 
 impl DaemonRunner {
     /// A runner talking to the daemon at `addr` (`host:port`).
     pub fn new(addr: impl Into<String>) -> DaemonRunner {
-        DaemonRunner { addr: addr.into() }
+        DaemonRunner {
+            addr: addr.into(),
+            ctx: TraceContext::fresh(),
+        }
+    }
+
+    /// The campaign's trace context (one id for the whole campaign).
+    pub fn trace(&self) -> TraceContext {
+        self.ctx
     }
 
     /// One column as an inline experiment object. The source rides in the
@@ -73,7 +87,14 @@ impl DaemonRunner {
     /// failure to the column(s) that refused.
     fn run_one(&self, source: &str, column: &Column) -> Result<ColumnOutcome, RunError> {
         let body = DaemonRunner::batch_body(source, std::slice::from_ref(column));
-        match fetch(&self.addr, "POST", "/v1/fuzz/run", body.as_bytes(), RUN_TIMEOUT) {
+        match fetch_headers(
+            &self.addr,
+            "POST",
+            "/v1/fuzz/run",
+            body.as_bytes(),
+            RUN_TIMEOUT,
+            &[(TRACEPARENT_HEADER, &self.ctx.to_traceparent())],
+        ) {
             Ok((200, bytes)) => {
                 let text = std::str::from_utf8(&bytes)
                     .map_err(|_| RunError::Sim("daemon response is not UTF-8".to_string()))?;
@@ -110,9 +131,14 @@ impl Runner for DaemonRunner {
         // so on any failure fall back to one request per column; the columns
         // that still refuse become their own differential signal.
         let body = DaemonRunner::batch_body(source, columns);
-        if let Ok((200, bytes)) =
-            fetch(&self.addr, "POST", "/v1/fuzz/run", body.as_bytes(), RUN_TIMEOUT)
-        {
+        if let Ok((200, bytes)) = fetch_headers(
+            &self.addr,
+            "POST",
+            "/v1/fuzz/run",
+            body.as_bytes(),
+            RUN_TIMEOUT,
+            &[(TRACEPARENT_HEADER, &self.ctx.to_traceparent())],
+        ) {
             if let Some(outcomes) = std::str::from_utf8(&bytes)
                 .ok()
                 .and_then(|text| proto::parse_results(text).ok())
@@ -238,8 +264,14 @@ pub fn run_fuzz(addr: &str, args: &FuzzArgs) -> i32 {
     let use_daemon = !args.local && args.spec.fault.is_none();
     let mut local_runner = LocalRunner {
         fault: args.spec.fault,
+        trace: None,
     };
     let mut daemon_runner = DaemonRunner::new(addr);
+    if use_daemon {
+        // One trace id for the whole campaign: every daemon-side request
+        // tree is findable with `tagctl trace <id>`.
+        eprintln!("[fuzz] trace {}", daemon_runner.trace().trace);
+    }
     let runner: &mut dyn Runner = if use_daemon {
         &mut daemon_runner
     } else {

@@ -13,16 +13,28 @@ pub const MAX_HEAD: usize = 16 * 1024;
 /// Upper bound on a request body — batches are small JSON documents.
 pub const MAX_BODY: usize = 1024 * 1024;
 
-/// A parsed request: method, path, and body.
+/// A parsed request: method, path, headers, and body.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Request {
     /// `GET`, `POST`, … (as sent; not validated against a method list).
     pub method: String,
     /// The request target, e.g. `/v1/experiments`. Query strings are kept
-    /// as-is (no endpoint uses them).
+    /// as-is (the router splits them off).
     pub path: String,
+    /// Headers in arrival order, names lowercased and values trimmed.
+    pub headers: Vec<(String, String)>,
     /// The request body (empty when there is no `Content-Length`).
     pub body: Vec<u8>,
+}
+
+impl Request {
+    /// The first header named `name` (lowercase), if present.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
 }
 
 /// A response to serialize: status, content type, body, and an optional
@@ -132,6 +144,7 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Request, String> {
         return Err(format!("malformed request line {request_line:?}"));
     };
     let mut content_length: Option<usize> = None;
+    let mut headers: Vec<(String, String)> = Vec::new();
     for line in lines {
         if let Some((name, value)) = line.split_once(':') {
             if name.eq_ignore_ascii_case("content-length") {
@@ -147,6 +160,7 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Request, String> {
                 content_length =
                     Some(text.parse().map_err(|_| format!("bad Content-Length {value:?}"))?);
             }
+            headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
         }
     }
     let content_length = content_length.unwrap_or(0);
@@ -166,6 +180,7 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Request, String> {
     Ok(Request {
         method: method.to_string(),
         path: path.to_string(),
+        headers,
         body,
     })
 }
@@ -207,6 +222,23 @@ pub fn fetch(
     body: &[u8],
     timeout: std::time::Duration,
 ) -> Result<(u16, Vec<u8>), String> {
+    fetch_headers(addr, method, path, body, timeout, &[])
+}
+
+/// [`fetch`] with extra request headers (name, value) — how `tagctl` sends
+/// its `traceparent`. Header values must not contain CR/LF.
+///
+/// # Errors
+///
+/// As [`fetch`].
+pub fn fetch_headers(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: &[u8],
+    timeout: std::time::Duration,
+    extra_headers: &[(&str, &str)],
+) -> Result<(u16, Vec<u8>), String> {
     let mut stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
     stream
         .set_read_timeout(Some(timeout))
@@ -214,11 +246,19 @@ pub fn fetch(
     stream
         .set_write_timeout(Some(timeout))
         .map_err(|e| e.to_string())?;
-    let head = format!(
+    let mut head = format!(
         "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\n\
-         Content-Type: application/json\r\nConnection: close\r\n\r\n",
+         Content-Type: application/json\r\nConnection: close\r\n",
         body.len()
     );
+    for (name, value) in extra_headers {
+        debug_assert!(
+            !name.contains(['\r', '\n']) && !value.contains(['\r', '\n']),
+            "header injection"
+        );
+        head.push_str(&format!("{name}: {value}\r\n"));
+    }
+    head.push_str("\r\n");
     stream
         .write_all(head.as_bytes())
         .and_then(|()| stream.write_all(body))
@@ -260,14 +300,20 @@ mod tests {
             assert_eq!(req.method, "POST");
             assert_eq!(req.path, "/v1/experiments");
             assert_eq!(req.body, b"{\"experiments\":[\"frl\"]}");
+            // Header names are lowercased, values trimmed; lookup is by
+            // lowercase name no matter how the client spelled it.
+            assert_eq!(req.header("traceparent"), Some("00-abc-def-01"));
+            assert!(req.header("host").is_some());
+            assert_eq!(req.header("nope"), None);
             write_response(&mut stream, &Response::json(200, "{\"ok\":true}"));
         });
-        let (status, body) = fetch(
+        let (status, body) = fetch_headers(
             &addr,
             "POST",
             "/v1/experiments",
             b"{\"experiments\":[\"frl\"]}",
             std::time::Duration::from_secs(5),
+            &[("TraceParent", "00-abc-def-01")],
         )
         .unwrap();
         server.join().unwrap();

@@ -17,7 +17,23 @@
 //! | `GET /v1/results/{key}` | The raw validated store record for a content address |
 //! | `GET /metrics` | Prometheus text: session + daemon + store series |
 //! | `GET /healthz` | Liveness: `ok` |
+//! | `GET /v1/debug/trace` | Flight-recorder snapshot (JSON; `?format=chrome` for `chrome://tracing`) |
+//! | `GET /v1/debug/trace/{id}` | One completed trace by trace id |
 //! | `POST /v1/shutdown` | Graceful shutdown: stop accepting, drain, flush |
+//!
+//! ## Tracing
+//!
+//! Every request is traced end-to-end (see [`tagstudy::trace`]): the root
+//! span is the request itself (named by normalized endpoint), with a
+//! `queue_wait` child for time spent in the accept queue and, for
+//! `/v1/experiments`, a `session.batch` child under which the session's
+//! `cache.read`/`store.read`/`measure`/`compile`/`simulate` spans and the
+//! store's `store.write` I/O spans attach. A client-supplied `traceparent`
+//! header joins the request to the client's trace — a malformed header is
+//! *never* an error, it just starts a fresh trace. Completed traces land in
+//! a bounded in-memory flight recorder served by the debug endpoints;
+//! per-endpoint latency histograms and p50/p90/p99 quantile gauges ride
+//! `/metrics`.
 //!
 //! ## Overload behavior
 //!
@@ -37,12 +53,14 @@ pub mod proto;
 
 use std::collections::VecDeque;
 use std::net::{IpAddr, Ipv4Addr, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use bench::spec::ExperimentSpec;
 use store::{ResultStore, StoreKey};
+use tagstudy::metrics::{labeled, REQUEST_BUCKETS};
+use tagstudy::trace::{chrome_trace_json, SpanId, SpanRecord, TraceContext, TraceId, Tracer};
 use tagstudy::{MetricsRegistry, Session};
 
 use http::{Request, Response};
@@ -86,6 +104,27 @@ pub mod daemon_metrics {
     pub const FUZZ_COVERAGE: &str = "daemon_fuzz_coverage_percent";
     /// Gauge: the reporting campaign's recent throughput (columns/second).
     pub const FUZZ_RATE: &str = "daemon_fuzz_columns_per_second";
+    /// Histogram (per-endpoint, labeled): end-to-end request latency in
+    /// seconds, from enqueue to response written. Buckets:
+    /// [`tagstudy::metrics::REQUEST_BUCKETS`].
+    pub const REQUEST_DURATION: &str = "daemon_request_duration_seconds";
+    /// Histogram: time a served connection spent waiting in the accept queue
+    /// (also observed for deadline sheds — that *is* the tuning signal).
+    pub const QUEUE_WAIT: &str = "daemon_queue_wait_seconds";
+    /// Gauge: requests being served right now (dequeued, response not yet
+    /// written).
+    pub const IN_FLIGHT: &str = "daemon_requests_in_flight";
+    /// Gauge (per-endpoint + quantile, labeled): p50/p90/p99 latency
+    /// estimated from [`REQUEST_DURATION`] at scrape time.
+    pub const LATENCY_QUANTILE: &str = "daemon_request_latency_quantile_seconds";
+    /// Counter: request traces sealed into the flight recorder.
+    pub const TRACES_RECORDED: &str = "daemon_traces_recorded_total";
+    /// Counter: completed traces evicted from the recorder ring.
+    pub const TRACES_EVICTED: &str = "daemon_traces_evicted_total";
+    /// Counter: completed traces that overstayed the slow threshold.
+    pub const TRACES_SLOW: &str = "daemon_traces_slow_total";
+    /// Counter: spans dropped by the recorder's bounds.
+    pub const SPANS_DROPPED: &str = "daemon_trace_spans_dropped_total";
 }
 
 /// Tuning knobs for [`Server::start`].
@@ -106,6 +145,11 @@ pub struct ServerConfig {
     pub io_timeout: Duration,
     /// `Retry-After` seconds advertised on shed responses.
     pub retry_after_secs: u32,
+    /// Completed request traces the flight recorder keeps (ring buffer).
+    pub trace_capacity: usize,
+    /// Requests whose total duration reaches this threshold also land in the
+    /// recorder's slow-request log.
+    pub slow_threshold: Duration,
 }
 
 impl Default for ServerConfig {
@@ -116,6 +160,8 @@ impl Default for ServerConfig {
             queue_deadline: Duration::from_secs(60),
             io_timeout: Duration::from_secs(30),
             retry_after_secs: 1,
+            trace_capacity: 256,
+            slow_threshold: Duration::from_secs(1),
         }
     }
 }
@@ -145,6 +191,11 @@ struct Daemon {
     config: ServerConfig,
     /// Where to self-connect to unblock the acceptor on shutdown.
     wake_addr: SocketAddr,
+    /// The flight recorder every layer's spans land in (also attached to the
+    /// session and the store).
+    tracer: Tracer,
+    /// Requests currently being served (dequeued, response not written).
+    in_flight: AtomicUsize,
 }
 
 /// A handle for poking a running server from outside the HTTP surface
@@ -197,7 +248,11 @@ impl Server {
             addr
         };
 
-        let mut session = Session::new();
+        let tracer = Tracer::new(config.trace_capacity, config.slow_threshold);
+        let mut session = Session::new().with_tracer(tracer.clone());
+        if let Some(store) = &store {
+            store.set_tracer(tracer.clone());
+        }
         if let Some(store) = &store {
             let sink = Arc::clone(store);
             session = session.with_writeback(move |m, t| {
@@ -234,6 +289,8 @@ impl Server {
             shutting_down: AtomicBool::new(false),
             config: config.clone(),
             wake_addr,
+            tracer,
+            in_flight: AtomicUsize::new(0),
         });
 
         let acceptor = {
@@ -371,7 +428,13 @@ impl Daemon {
             let Some((mut stream, enqueued)) = next else {
                 return;
             };
-            if enqueued.elapsed() > self.config.queue_deadline {
+            let waited = enqueued.elapsed();
+            self.lock_metrics().observe(
+                daemon_metrics::QUEUE_WAIT,
+                REQUEST_BUCKETS,
+                waited.as_secs_f64(),
+            );
+            if waited > self.config.queue_deadline {
                 {
                     let mut m = self.lock_metrics();
                     m.inc(daemon_metrics::DEADLINE_SHED);
@@ -383,16 +446,48 @@ impl Daemon {
                 http::write_response(&mut stream, &shed);
                 continue;
             }
-            self.serve_connection(stream);
+            self.serve_connection(stream, enqueued);
         }
     }
 
-    fn serve_connection(&self, mut stream: TcpStream) {
+    fn serve_connection(&self, mut stream: TcpStream, enqueued: Instant) {
+        let dequeued = Instant::now();
+        self.in_flight.fetch_add(1, Ordering::Relaxed);
         let _ = stream.set_read_timeout(Some(self.config.io_timeout));
         let _ = stream.set_write_timeout(Some(self.config.io_timeout));
-        let response = match http::read_request(&mut stream) {
-            Ok(request) => self.route(&request),
-            Err(why) => Response::error(400, &why),
+        let parsed = http::read_request(&mut stream);
+
+        // Join the client's trace when a well-formed traceparent came along;
+        // anything else — missing header, malformed header, unparsable
+        // request — starts a fresh trace. Never an error.
+        let client_ctx = parsed
+            .as_ref()
+            .ok()
+            .and_then(|r| r.header(tagstudy::trace::TRACEPARENT_HEADER))
+            .and_then(TraceContext::from_traceparent);
+        let trace = client_ctx.map_or_else(TraceId::generate, |c| c.trace);
+        let root = SpanId::generate();
+        let endpoint = match &parsed {
+            Ok(r) => endpoint_of(&r.method, &r.path),
+            Err(_) => "unparsed".to_string(),
+        };
+
+        // queue_wait is a real child span: the request's lifetime includes
+        // the time it sat in the accept queue before any byte was read.
+        self.tracer.record(SpanRecord {
+            trace,
+            id: SpanId::generate(),
+            parent: Some(root),
+            name: "queue_wait".to_string(),
+            component: "daemon".to_string(),
+            start_us: self.tracer.at_us(enqueued),
+            dur_us: (dequeued - enqueued).as_micros() as u64,
+            labels: Vec::new(),
+        });
+
+        let response = match &parsed {
+            Ok(request) => self.route(request, TraceContext::new(trace, root)),
+            Err(why) => Response::error(400, why),
         };
         {
             let mut m = self.lock_metrics();
@@ -404,17 +499,44 @@ impl Daemon {
             });
         }
         http::write_response(&mut stream, &response);
+        self.in_flight.fetch_sub(1, Ordering::Relaxed);
+
+        // Seal the trace: root span covers enqueue → response written, and
+        // the per-endpoint latency histogram observes the same interval.
+        let total = enqueued.elapsed();
+        self.lock_metrics().observe(
+            &labeled(daemon_metrics::REQUEST_DURATION, &[("endpoint", &endpoint)]),
+            REQUEST_BUCKETS,
+            total.as_secs_f64(),
+        );
+        self.tracer.record(SpanRecord {
+            trace,
+            id: root,
+            parent: client_ctx.map(|c| c.parent),
+            name: endpoint,
+            component: "daemon".to_string(),
+            start_us: self.tracer.at_us(enqueued),
+            dur_us: total.as_micros() as u64,
+            labels: vec![("status".to_string(), response.status.to_string())],
+        });
+        self.tracer.finish(trace, root);
     }
 
-    fn route(&self, request: &Request) -> Response {
-        match (request.method.as_str(), request.path.as_str()) {
+    fn route(&self, request: &Request, ctx: TraceContext) -> Response {
+        let path = request.path.split('?').next().unwrap_or(&request.path);
+        let query = request.path.strip_prefix(path).unwrap_or("");
+        match (request.method.as_str(), path) {
             ("GET", "/healthz") => Response::text(200, "ok\n"),
             ("GET", "/metrics") => Response::text(200, self.metrics_prometheus()),
-            ("POST", "/v1/experiments") => self.handle_batch(&request.body),
-            ("POST", "/v1/fuzz/run") => self.handle_fuzz_run(&request.body),
+            ("POST", "/v1/experiments") => self.handle_batch(&request.body, ctx),
+            ("POST", "/v1/fuzz/run") => self.handle_fuzz_run(&request.body, ctx),
             ("POST", "/v1/fuzz/report") => self.handle_fuzz_report(&request.body),
-            ("GET", path) if path.starts_with("/v1/results/") => {
-                self.handle_result(&path["/v1/results/".len()..])
+            ("GET", "/v1/debug/trace") => self.handle_debug_trace(query),
+            ("GET", p) if p.starts_with("/v1/debug/trace/") => {
+                self.handle_debug_trace_one(&p["/v1/debug/trace/".len()..])
+            }
+            ("GET", p) if p.starts_with("/v1/results/") => {
+                self.handle_result(&p["/v1/results/".len()..], ctx)
             }
             ("POST", "/v1/shutdown") => {
                 self.shutdown();
@@ -423,13 +545,13 @@ impl Daemon {
             (
                 _,
                 "/healthz" | "/metrics" | "/v1/experiments" | "/v1/fuzz/run" | "/v1/fuzz/report"
-                | "/v1/shutdown",
-            ) => Response::error(405, &format!("wrong method for {}", request.path)),
-            _ => Response::error(404, &format!("no route for {}", request.path)),
+                | "/v1/shutdown" | "/v1/debug/trace",
+            ) => Response::error(405, &format!("wrong method for {path}")),
+            _ => Response::error(404, &format!("no route for {path}")),
         }
     }
 
-    fn handle_batch(&self, body: &[u8]) -> Response {
+    fn handle_batch(&self, body: &[u8], ctx: TraceContext) -> Response {
         let specs = match proto::parse_batch(body) {
             Ok(specs) => specs,
             Err(why) => return Response::error(400, &why),
@@ -438,7 +560,16 @@ impl Daemon {
             .iter()
             .map(|s| (s.program.as_str(), s.config))
             .collect();
+        // The whole dedup + fan-out + writeback sits under one session.batch
+        // span; session spans (cache/store reads, measure/compile/simulate)
+        // and store writeback spans parent under it. The store scope is
+        // thread-keyed and writeback runs on this worker thread.
+        let batch_span = SpanId::generate();
+        let batch_start = Instant::now();
+        let child_ctx = TraceContext::new(ctx.trace, batch_span);
+        let _scope = self.store.as_ref().map(|s| s.trace_scope(child_ctx));
         let mut session = self.session.lock().unwrap_or_else(|e| e.into_inner());
+        session.begin_trace(child_ctx);
         // Inline specs carry their own source: register each under its
         // content-derived name before measuring, so the batch rides the same
         // memoizing engine as named benchmarks. Re-registering identical
@@ -453,9 +584,20 @@ impl Daemon {
             }
         }
         let result = session.measure_many(&requests);
+        session.end_trace();
         // Refresh the lock-free metrics snapshot while we hold the session.
         *self.session_prom.lock().unwrap_or_else(|e| e.into_inner()) = session.metrics_prometheus();
         drop(session);
+        self.tracer.record(SpanRecord {
+            trace: ctx.trace,
+            id: batch_span,
+            parent: Some(ctx.parent),
+            name: "session.batch".to_string(),
+            component: "session".to_string(),
+            start_us: self.tracer.at_us(batch_start),
+            dur_us: batch_start.elapsed().as_micros() as u64,
+            labels: vec![("experiments".to_string(), specs.len().to_string())],
+        });
         match result {
             Ok(measurements) => {
                 {
@@ -492,11 +634,12 @@ impl Daemon {
     /// differential fuzzer must not assume), so the cached path would
     /// collapse a classic-vs-fast fan-out into one execution. This route
     /// always compiles and simulates, per spec, on the spec's own backend.
-    fn handle_fuzz_run(&self, body: &[u8]) -> Response {
+    fn handle_fuzz_run(&self, body: &[u8], ctx: TraceContext) -> Response {
         let specs = match proto::parse_batch(body) {
             Ok(specs) => specs,
             Err(why) => return Response::error(400, &why),
         };
+        let _scope = self.store.as_ref().map(|s| s.trace_scope(ctx));
         let mut session = self.session.lock().unwrap_or_else(|e| e.into_inner());
         for spec in &specs {
             if let Some(source) = &spec.source {
@@ -509,7 +652,24 @@ impl Daemon {
         }
         let mut entries: Vec<(ExperimentSpec, StoreKey, tagstudy::Measurement)> = Vec::new();
         for spec in specs {
-            match session.measure_uncached(&spec.program, spec.config) {
+            // One fuzz.column span per matrix column: the session's
+            // measure/compile/simulate spans nest under it.
+            let column_span = SpanId::generate();
+            let column_start = Instant::now();
+            session.begin_trace(TraceContext::new(ctx.trace, column_span));
+            let measured = session.measure_uncached(&spec.program, spec.config);
+            session.end_trace();
+            self.tracer.record(SpanRecord {
+                trace: ctx.trace,
+                id: column_span,
+                parent: Some(ctx.parent),
+                name: "fuzz.column".to_string(),
+                component: "fleet".to_string(),
+                start_us: self.tracer.at_us(column_start),
+                dur_us: column_start.elapsed().as_micros() as u64,
+                labels: vec![("spec".to_string(), spec.to_spec_string())],
+            });
+            match measured {
                 Ok(m) => {
                     let source = match &spec.source {
                         Some(text) => text.as_str(),
@@ -593,7 +753,7 @@ impl Daemon {
         Response::json(200, "{\"status\":\"ok\"}\n")
     }
 
-    fn handle_result(&self, key_text: &str) -> Response {
+    fn handle_result(&self, key_text: &str, ctx: TraceContext) -> Response {
         let key = match StoreKey::from_hex(key_text) {
             Ok(key) => key,
             Err(why) => return Response::error(400, &why),
@@ -601,9 +761,42 @@ impl Daemon {
         let Some(store) = &self.store else {
             return Response::error(404, "daemon is running without a result store");
         };
+        let _scope = store.trace_scope(ctx);
         match store.raw_record(&key) {
             Some(text) => Response::json(200, text),
             None => Response::error(404, &format!("no record for key {key}")),
+        }
+    }
+
+    /// The flight-recorder snapshot: recent + slow traces as JSON, or the
+    /// whole thing as a Chrome trace-event document (`?format=chrome`) ready
+    /// for `chrome://tracing` / Perfetto.
+    fn handle_debug_trace(&self, query: &str) -> Response {
+        let snapshot = self.tracer.snapshot();
+        if query_param(query, "format") == Some("chrome") {
+            let mut traces = snapshot.recent.clone();
+            let seen: std::collections::HashSet<u128> =
+                traces.iter().map(|t| t.trace.0).collect();
+            traces.extend(
+                snapshot
+                    .slow
+                    .iter()
+                    .filter(|t| !seen.contains(&t.trace.0))
+                    .cloned(),
+            );
+            return Response::json(200, chrome_trace_json(&traces));
+        }
+        Response::json(200, snapshot.to_json())
+    }
+
+    /// One completed trace by id (32 lowercase hex digits).
+    fn handle_debug_trace_one(&self, id_text: &str) -> Response {
+        let Some(trace) = TraceId::from_hex(id_text) else {
+            return Response::error(400, &format!("bad trace id {id_text:?}"));
+        };
+        match self.tracer.lookup(trace) {
+            Some(record) => Response::json(200, record.to_json()),
+            None => Response::error(404, &format!("no recorded trace {trace}")),
         }
     }
 
@@ -628,6 +821,41 @@ impl Daemon {
                 daemon_metrics::QUEUE_DEPTH,
                 self.queue.lock().unwrap_or_else(|e| e.into_inner()).len() as f64,
             );
+            m.set_gauge(
+                daemon_metrics::IN_FLIGHT,
+                self.in_flight.load(Ordering::Relaxed) as f64,
+            );
+            let recorder = self.tracer.stats();
+            m.add(daemon_metrics::TRACES_RECORDED, recorder.completed);
+            m.add(daemon_metrics::TRACES_EVICTED, recorder.evicted);
+            m.add(daemon_metrics::TRACES_SLOW, recorder.slow);
+            m.add(daemon_metrics::SPANS_DROPPED, recorder.dropped_spans);
+            // Latency quantiles estimated at scrape time from the
+            // per-endpoint request-duration histograms.
+            let prefix = format!("{}{{endpoint=\"", daemon_metrics::REQUEST_DURATION);
+            let mut quantiles: Vec<(String, f64)> = Vec::new();
+            for (key, hist) in m.histograms() {
+                let Some(endpoint) = key
+                    .strip_prefix(prefix.as_str())
+                    .and_then(|rest| rest.strip_suffix("\"}"))
+                else {
+                    continue;
+                };
+                for (q, q_label) in [(0.5, "0.5"), (0.9, "0.9"), (0.99, "0.99")] {
+                    if let Some(v) = hist.quantile(q) {
+                        quantiles.push((
+                            labeled(
+                                daemon_metrics::LATENCY_QUANTILE,
+                                &[("endpoint", endpoint), ("quantile", q_label)],
+                            ),
+                            v,
+                        ));
+                    }
+                }
+            }
+            for (key, value) in quantiles {
+                m.set_gauge(&key, value);
+            }
             m.to_prometheus()
         };
         let store_text = self.store.as_ref().map_or(String::new(), |store| {
@@ -644,5 +872,67 @@ impl Daemon {
             )
         });
         format!("{session_text}{daemon_text}{store_text}")
+    }
+}
+
+/// Normalize a request to a bounded endpoint label for metrics and span
+/// names: known routes verbatim, parameterized routes collapsed
+/// (`/v1/results/{key}`, `/v1/debug/trace/{trace}`), everything else
+/// `other` — an attacker scanning paths must not mint unbounded series.
+fn endpoint_of(method: &str, path: &str) -> String {
+    let path = path.split('?').next().unwrap_or(path);
+    let path = match path {
+        "/healthz" | "/metrics" | "/v1/experiments" | "/v1/fuzz/run" | "/v1/fuzz/report"
+        | "/v1/shutdown" | "/v1/debug/trace" => path,
+        p if p.starts_with("/v1/debug/trace/") => "/v1/debug/trace/{trace}",
+        p if p.starts_with("/v1/results/") => "/v1/results/{key}",
+        _ => "other",
+    };
+    let method = match method {
+        "GET" | "POST" | "PUT" | "DELETE" | "HEAD" | "OPTIONS" => method,
+        _ => "OTHER",
+    };
+    format!("{method} {path}")
+}
+
+/// The value of `name` in a query string like `?format=chrome&x=1`.
+fn query_param<'q>(query: &'q str, name: &str) -> Option<&'q str> {
+    query
+        .trim_start_matches('?')
+        .split('&')
+        .filter_map(|pair| pair.split_once('='))
+        .find(|(k, _)| *k == name)
+        .map(|(_, v)| v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn endpoint_labels_are_bounded() {
+        assert_eq!(endpoint_of("POST", "/v1/experiments"), "POST /v1/experiments");
+        assert_eq!(
+            endpoint_of("GET", "/v1/results/abc123"),
+            "GET /v1/results/{key}"
+        );
+        assert_eq!(
+            endpoint_of("GET", "/v1/debug/trace/deadbeef"),
+            "GET /v1/debug/trace/{trace}"
+        );
+        assert_eq!(
+            endpoint_of("GET", "/v1/debug/trace?format=chrome"),
+            "GET /v1/debug/trace"
+        );
+        assert_eq!(endpoint_of("GET", "/../../etc/passwd"), "GET other");
+        assert_eq!(endpoint_of("BREW", "/healthz"), "OTHER /healthz");
+    }
+
+    #[test]
+    fn query_params_parse() {
+        assert_eq!(query_param("?format=chrome", "format"), Some("chrome"));
+        assert_eq!(query_param("?a=1&format=json", "format"), Some("json"));
+        assert_eq!(query_param("", "format"), None);
+        assert_eq!(query_param("?format", "format"), None);
     }
 }

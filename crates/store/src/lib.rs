@@ -40,7 +40,11 @@ use std::fs;
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::thread::ThreadId;
+use std::time::Instant;
 
+use tagstudy::trace::{SpanId, SpanRecord, TraceContext, Tracer};
 use tagstudy::{Config, Measurement, Timing};
 
 /// Version of the on-disk record format. Bump on any encoding change; records
@@ -153,6 +157,18 @@ pub struct ResultStore {
     gets: AtomicU64,
     hits: AtomicU64,
     quarantined: AtomicU64,
+    /// Optional flight recorder plus per-thread trace contexts (see
+    /// [`ResultStore::trace_scope`]). Store methods take `&self` from many
+    /// threads at once, so "which request am I serving?" is keyed by thread:
+    /// the daemon registers a scope on its HTTP worker thread before calling
+    /// into the session, and every store I/O on that thread spans under it.
+    tracing: Mutex<TracingState>,
+}
+
+#[derive(Debug, Default)]
+struct TracingState {
+    tracer: Option<Tracer>,
+    scopes: std::collections::HashMap<ThreadId, TraceContext>,
 }
 
 impl ResultStore {
@@ -170,7 +186,61 @@ impl ResultStore {
             gets: AtomicU64::new(0),
             hits: AtomicU64::new(0),
             quarantined: AtomicU64::new(0),
+            tracing: Mutex::new(TracingState::default()),
         })
+    }
+
+    /// Attach a flight recorder. Spans are only recorded on threads that hold
+    /// an active [`ResultStore::trace_scope`]; without one (or without a
+    /// tracer at all) every store operation behaves exactly as before.
+    pub fn set_tracer(&self, tracer: Tracer) {
+        self.lock_tracing().tracer = Some(tracer);
+    }
+
+    /// Register `ctx` as the trace context for the *current thread* until the
+    /// returned guard drops. While the scope is active, every [`put`], [`get`]
+    /// and [`raw_record`] this thread performs records a `store.write` /
+    /// `store.read` span under `ctx.parent`.
+    ///
+    /// [`put`]: ResultStore::put
+    /// [`get`]: ResultStore::get
+    /// [`raw_record`]: ResultStore::raw_record
+    pub fn trace_scope(&self, ctx: TraceContext) -> TraceScope<'_> {
+        let thread = std::thread::current().id();
+        let prev = self.lock_tracing().scopes.insert(thread, ctx);
+        TraceScope {
+            store: self,
+            thread,
+            prev,
+        }
+    }
+
+    fn lock_tracing(&self) -> std::sync::MutexGuard<'_, TracingState> {
+        self.tracing.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Record a span for an operation that began at `started`, if a tracer is
+    /// attached and the current thread is inside a [`ResultStore::trace_scope`].
+    fn record_span(&self, name: &str, started: Instant, labels: &[(&str, &str)]) {
+        let t = self.lock_tracing();
+        let Some(tracer) = &t.tracer else { return };
+        let Some(ctx) = t.scopes.get(&std::thread::current().id()) else {
+            return;
+        };
+        let start_us = tracer.at_us(started);
+        tracer.record(SpanRecord {
+            trace: ctx.trace,
+            id: SpanId::generate(),
+            parent: Some(ctx.parent),
+            name: name.to_string(),
+            component: "store".to_string(),
+            start_us,
+            dur_us: tracer.now_us().saturating_sub(start_us),
+            labels: labels
+                .iter()
+                .map(|(k, v)| ((*k).to_string(), (*v).to_string()))
+                .collect(),
+        });
     }
 
     /// The store's root directory.
@@ -219,6 +289,7 @@ impl ResultStore {
                 format!("unknown program {:?}", measurement.program),
             )
         })?;
+        let started = Instant::now();
         let text = record::record_to_json(&key, measurement, timing);
         let temp = self.root.join(format!(
             "tmp-{}-{}.{RECORD_EXT}",
@@ -232,6 +303,11 @@ impl ResultStore {
         }
         fs::rename(&temp, self.record_path(&key))?;
         self.puts.fetch_add(1, Ordering::Relaxed);
+        self.record_span(
+            "store.write",
+            started,
+            &[("key", key.as_str()), ("program", &measurement.program)],
+        );
         Ok(key)
     }
 
@@ -240,22 +316,31 @@ impl ResultStore {
     /// indistinguishable from a miss to callers, by design.
     pub fn get(&self, key: &StoreKey) -> Option<(Measurement, Timing)> {
         self.gets.fetch_add(1, Ordering::Relaxed);
+        let started = Instant::now();
         let path = self.record_path(key);
-        let text = fs::read_to_string(&path).ok()?;
-        match record::record_from_json(&text) {
-            Ok((stored_key, m, t)) if stored_key == *key => {
-                self.hits.fetch_add(1, Ordering::Relaxed);
-                Some((m, t))
+        let text = fs::read_to_string(&path).ok();
+        let result = text.as_deref().and_then(|text| {
+            match record::record_from_json(text) {
+                Ok((stored_key, m, t)) if stored_key == *key => {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    Some((m, t))
+                }
+                Ok((stored_key, ..)) => {
+                    self.quarantine(&path, &format!("key mismatch: record says {stored_key}"));
+                    None
+                }
+                Err(why) => {
+                    self.quarantine(&path, &why);
+                    None
+                }
             }
-            Ok((stored_key, ..)) => {
-                self.quarantine(&path, &format!("key mismatch: record says {stored_key}"));
-                None
-            }
-            Err(why) => {
-                self.quarantine(&path, &why);
-                None
-            }
-        }
+        });
+        self.record_span(
+            "store.read",
+            started,
+            &[("key", key.as_str()), ("hit", if result.is_some() { "true" } else { "false" })],
+        );
+        result
     }
 
     /// The raw record text for `key`, *after* validating it — what the daemon
@@ -263,22 +348,30 @@ impl ResultStore {
     /// reported as missing, exactly like [`ResultStore::get`].
     pub fn raw_record(&self, key: &StoreKey) -> Option<String> {
         self.gets.fetch_add(1, Ordering::Relaxed);
+        let started = Instant::now();
         let path = self.record_path(key);
-        let text = fs::read_to_string(&path).ok()?;
-        match record::record_from_json(&text) {
-            Ok((stored_key, ..)) if stored_key == *key => {
-                self.hits.fetch_add(1, Ordering::Relaxed);
-                Some(text)
+        let result = fs::read_to_string(&path).ok().and_then(|text| {
+            match record::record_from_json(&text) {
+                Ok((stored_key, ..)) if stored_key == *key => {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    Some(text)
+                }
+                Ok((stored_key, ..)) => {
+                    self.quarantine(&path, &format!("key mismatch: record says {stored_key}"));
+                    None
+                }
+                Err(why) => {
+                    self.quarantine(&path, &why);
+                    None
+                }
             }
-            Ok((stored_key, ..)) => {
-                self.quarantine(&path, &format!("key mismatch: record says {stored_key}"));
-                None
-            }
-            Err(why) => {
-                self.quarantine(&path, &why);
-                None
-            }
-        }
+        });
+        self.record_span(
+            "store.read",
+            started,
+            &[("key", key.as_str()), ("hit", if result.is_some() { "true" } else { "false" })],
+        );
+        result
     }
 
     /// Validate and load every record in the store, quarantining the invalid
@@ -379,6 +472,31 @@ impl ResultStore {
         if fs::rename(path, &dest).is_ok() {
             self.quarantined.fetch_add(1, Ordering::Relaxed);
             eprintln!("[store] quarantined {name}: {why}");
+        }
+    }
+}
+
+/// RAII guard for a per-thread trace context (see
+/// [`ResultStore::trace_scope`]). Restores the thread's previous context (or
+/// clears it) on drop, so scopes nest correctly.
+#[must_use = "the scope is active only while this guard lives"]
+#[derive(Debug)]
+pub struct TraceScope<'a> {
+    store: &'a ResultStore,
+    thread: ThreadId,
+    prev: Option<TraceContext>,
+}
+
+impl Drop for TraceScope<'_> {
+    fn drop(&mut self) {
+        let mut t = self.store.lock_tracing();
+        match self.prev.take() {
+            Some(prev) => {
+                t.scopes.insert(self.thread, prev);
+            }
+            None => {
+                t.scopes.remove(&self.thread);
+            }
         }
     }
 }

@@ -212,3 +212,54 @@ fn concurrent_writers_on_one_cache_dir() {
         .collect();
     assert!(leftovers.is_empty(), "{leftovers:?}");
 }
+
+/// Store I/O spans are recorded only on threads inside a `trace_scope`, carry
+/// the request's trace id, and label reads with hit/miss.
+#[test]
+fn trace_scope_records_store_spans_per_thread() {
+    use tagstudy::trace::{TraceContext, Tracer};
+
+    let scratch = Scratch::new("trace");
+    let store = ResultStore::open(&scratch.0).unwrap();
+    let cfg = Config::baseline(CheckingMode::None);
+    let m = measurement("frl", cfg, 1234);
+
+    // No tracer, no scope: everything works, nothing recorded anywhere.
+    let key = store.put(&m, &timing(1)).unwrap();
+    assert!(store.get(&key).is_some());
+
+    let tracer = Tracer::new(8, Duration::from_secs(3600));
+    store.set_tracer(tracer.clone());
+
+    // Tracer attached but no scope on this thread: still nothing recorded.
+    assert!(store.get(&key).is_some());
+    let ctx = TraceContext::fresh();
+    {
+        let _scope = store.trace_scope(ctx);
+        store.put(&m, &timing(1)).unwrap();
+        assert!(store.get(&key).is_some());
+        assert!(store.get(&StoreKey::compute("(no such src)", &cfg)).is_none());
+    }
+    // Scope dropped: subsequent I/O is unrecorded again.
+    assert!(store.get(&key).is_some());
+
+    tracer.finish(ctx.trace, ctx.parent).expect("spans recorded");
+    let rec = tracer.lookup(ctx.trace).unwrap();
+    let names: Vec<&str> = rec.spans.iter().map(|s| s.name.as_str()).collect();
+    assert_eq!(names, ["store.write", "store.read", "store.read"]);
+    assert!(rec.spans.iter().all(|s| s.trace == ctx.trace));
+    assert!(rec.spans.iter().all(|s| s.parent == Some(ctx.parent)));
+    let hit_labels: Vec<&str> = rec
+        .spans
+        .iter()
+        .filter(|s| s.name == "store.read")
+        .map(|s| {
+            s.labels
+                .iter()
+                .find(|(k, _)| k == "hit")
+                .map(|(_, v)| v.as_str())
+                .unwrap()
+        })
+        .collect();
+    assert_eq!(hit_labels, ["true", "false"]);
+}

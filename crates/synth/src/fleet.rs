@@ -31,6 +31,7 @@ use lisp::eval::EvalOutcome;
 use lisp::CheckingMode;
 use mipsx::{Backend, Executor as _, Fault, HwConfig, RefCpu, Stats};
 use store::fuzz::{CoverageLedger, FuzzStore, Witness};
+use tagstudy::trace::{SpanId, SpanRecord, TraceContext, Tracer};
 use tagstudy::Config;
 
 /// Seed offset between adjacent coverage cells, so each cell draws from its
@@ -216,13 +217,35 @@ pub trait Runner {
 pub struct LocalRunner {
     /// Fault injected into every execution, if any.
     pub fault: Option<Fault>,
+    /// When set, every executed column records a `fleet.column` span under
+    /// this context — the in-process mirror of the daemon's fuzz spans.
+    pub trace: Option<(Tracer, TraceContext)>,
 }
 
 impl Runner for LocalRunner {
     fn run(&mut self, source: &str, columns: &[Column]) -> Vec<Result<ColumnOutcome, RunError>> {
         columns
             .iter()
-            .map(|column| run_local_column(source, column, self.fault))
+            .map(|column| {
+                let started = std::time::Instant::now();
+                let outcome = run_local_column(source, column, self.fault);
+                if let Some((tracer, ctx)) = &self.trace {
+                    tracer.record(SpanRecord {
+                        trace: ctx.trace,
+                        id: SpanId::generate(),
+                        parent: Some(ctx.parent),
+                        name: "fleet.column".to_string(),
+                        component: "fleet".to_string(),
+                        start_us: tracer.at_us(started),
+                        dur_us: started.elapsed().as_micros() as u64,
+                        labels: vec![
+                            ("column".to_string(), column.label()),
+                            ("ok".to_string(), outcome.is_ok().to_string()),
+                        ],
+                    });
+                }
+                outcome
+            })
             .collect()
     }
 }

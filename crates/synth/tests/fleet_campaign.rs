@@ -154,7 +154,10 @@ fn fault_campaign_archives_a_small_replayable_witness() {
     let report = run_campaign(
         &spec,
         &store,
-        &mut LocalRunner { fault: Some(fault) },
+        &mut LocalRunner {
+            fault: Some(fault),
+            trace: None,
+        },
         false,
         &mut |_| {},
     )

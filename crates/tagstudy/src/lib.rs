@@ -66,6 +66,7 @@ pub mod paper;
 pub mod report;
 mod session;
 pub mod tables;
+pub mod trace;
 
 pub use config::Config;
 pub use lisp::CheckingMode;
@@ -73,3 +74,4 @@ pub use measure::{run_benchmark, run_program, InlineProgram, Measurement, StudyE
 pub use metrics::{Event, Histogram, Json, MetricsRegistry};
 pub use mipsx::Backend;
 pub use session::{Progress, Session, SessionStats};
+pub use trace::{SpanId, SpanRecord, TraceContext, TraceId, TraceRecord, Tracer};

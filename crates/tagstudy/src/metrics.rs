@@ -21,6 +21,12 @@ use std::fmt::Write as _;
 pub const DURATION_BUCKETS: &[f64] = &[0.001, 0.004, 0.016, 0.064, 0.256, 1.0, 4.0, 16.0];
 /// Histogram bucket upper bounds for worker-pool occupancy observations.
 pub const OCCUPANCY_BUCKETS: &[f64] = &[1.0, 2.0, 4.0, 8.0, 16.0, 32.0];
+/// Histogram bucket upper bounds for daemon request latency, in seconds.
+/// Finer at the low end than [`DURATION_BUCKETS`]: a cache-hit request
+/// answers in well under a millisecond, while a cold batch can simulate for
+/// seconds — the geometric ×4 spacing covers 0.5ms…8s so both p50 of warm
+/// traffic and p99 of cold traffic land inside finite buckets.
+pub const REQUEST_BUCKETS: &[f64] = &[0.0005, 0.002, 0.008, 0.032, 0.128, 0.512, 2.048, 8.192];
 
 /// Metric names the [`crate::Session`] publishes.
 pub mod names {
@@ -87,6 +93,34 @@ impl Histogram {
         self.counts[i] += 1;
         self.sum += value;
         self.count += 1;
+    }
+
+    /// Estimate the `q`-quantile (`0.0 ≤ q ≤ 1.0`) by linear interpolation
+    /// within the bucket holding the target rank — the same estimate
+    /// Prometheus's `histogram_quantile` computes server-side. `None` when
+    /// the histogram is empty. Observations that landed in the `+Inf`
+    /// overflow bucket clamp to the largest finite bound, so the estimate is
+    /// always finite (and always positive for positive observations).
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 || self.buckets.is_empty() {
+            return None;
+        }
+        let rank = q.clamp(0.0, 1.0) * self.count as f64;
+        let mut cum = 0u64;
+        for (i, c) in self.counts.iter().enumerate() {
+            cum += c;
+            if (cum as f64) >= rank && *c > 0 {
+                let Some(&upper) = self.buckets.get(i) else {
+                    // Overflow bucket: clamp to the largest finite bound.
+                    return self.buckets.last().copied();
+                };
+                let lower = if i == 0 { 0.0 } else { self.buckets[i - 1] };
+                let below = (cum - c) as f64;
+                let frac = ((rank - below) / *c as f64).clamp(0.0, 1.0);
+                return Some(lower + (upper - lower) * frac);
+            }
+        }
+        self.buckets.last().copied()
     }
 }
 
@@ -174,6 +208,11 @@ impl MetricsRegistry {
     /// Histogram `name`, if any observation was recorded.
     pub fn histogram(&self, name: &str) -> Option<&Histogram> {
         self.histograms.get(name)
+    }
+
+    /// Every histogram, in name order (labeled keys included as stored).
+    pub fn histograms(&self) -> impl Iterator<Item = (&str, &Histogram)> {
+        self.histograms.iter().map(|(k, h)| (k.as_str(), h))
     }
 
     /// The event log, in append order.
@@ -312,27 +351,85 @@ impl MetricsRegistry {
 
     /// Render counters, gauges and histograms in the Prometheus
     /// text-exposition format (the event log is JSON-only).
+    ///
+    /// Metric names may carry a label set inline — a key like
+    /// `daemon_request_duration_seconds{endpoint="POST /v1/experiments"}`
+    /// renders as one labeled series of the `daemon_request_duration_seconds`
+    /// family: the `# TYPE` header is emitted once per family, and histogram
+    /// `le` labels merge into the series' own label set. Unlabeled keys
+    /// render exactly as before.
     pub fn to_prometheus(&self) -> String {
         let mut out = String::new();
+        let mut typed = std::collections::BTreeSet::new();
+        let mut type_line = |out: &mut String, base: &str, kind: &str| {
+            if typed.insert(base.to_string()) {
+                let _ = writeln!(out, "# TYPE {base} {kind}");
+            }
+        };
         for (k, v) in &self.counters {
-            let _ = writeln!(out, "# TYPE {k} counter\n{k} {v}");
+            let (base, _) = split_labels(k);
+            type_line(&mut out, base, "counter");
+            let _ = writeln!(out, "{k} {v}");
         }
         for (k, v) in &self.gauges {
-            let _ = writeln!(out, "# TYPE {k} gauge\n{k} {}", json_f64(*v));
+            let (base, _) = split_labels(k);
+            type_line(&mut out, base, "gauge");
+            let _ = writeln!(out, "{k} {}", json_f64(*v));
         }
         for (k, h) in &self.histograms {
-            let _ = writeln!(out, "# TYPE {k} histogram");
+            let (base, labels) = split_labels(k);
+            type_line(&mut out, base, "histogram");
+            // `le` joins the series' own labels: `{a="b",le="0.5"}`.
+            let with_le = |le: &str| match labels {
+                Some(l) => format!("{{{l},le=\"{le}\"}}"),
+                None => format!("{{le=\"{le}\"}}"),
+            };
             let mut cum = 0u64;
             for (b, c) in h.buckets.iter().zip(&h.counts) {
                 cum += c;
-                let _ = writeln!(out, "{k}_bucket{{le=\"{}\"}} {cum}", json_f64(*b));
+                let _ = writeln!(out, "{base}_bucket{} {cum}", with_le(&json_f64(*b)));
             }
-            let _ = writeln!(out, "{k}_bucket{{le=\"+Inf\"}} {}", h.count);
-            let _ = writeln!(out, "{k}_sum {}", json_f64(h.sum));
-            let _ = writeln!(out, "{k}_count {}", h.count);
+            let _ = writeln!(out, "{base}_bucket{} {}", with_le("+Inf"), h.count);
+            let suffix = labels.map_or_else(String::new, |l| format!("{{{l}}}"));
+            let _ = writeln!(out, "{base}_sum{suffix} {}", json_f64(h.sum));
+            let _ = writeln!(out, "{base}_count{suffix} {}", h.count);
         }
         out
     }
+}
+
+/// Split a metric key into its family name and inline label set:
+/// `name{a="b"}` → `("name", Some("a=\"b\""))`, `name` → `("name", None)`.
+fn split_labels(key: &str) -> (&str, Option<&str>) {
+    match key.find('{') {
+        Some(open) if key.ends_with('}') => (&key[..open], Some(&key[open + 1..key.len() - 1])),
+        _ => (key, None),
+    }
+}
+
+/// Build a labeled metric key for [`MetricsRegistry`] maps:
+/// `labeled("m", &[("a", "b")])` → `m{a="b"}`. Label values are escaped per
+/// the Prometheus text format (backslash, quote, newline).
+pub fn labeled(name: &str, labels: &[(&str, &str)]) -> String {
+    let mut out = String::from(name);
+    out.push('{');
+    for (i, (k, v)) in labels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{k}=\"");
+        for c in v.chars() {
+            match c {
+                '\\' => out.push_str("\\\\"),
+                '"' => out.push_str("\\\""),
+                '\n' => out.push_str("\\n"),
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+    }
+    out.push('}');
+    out
 }
 
 /// Shortest-round-trip float formatting that is also valid JSON (Rust's `{:?}`
@@ -342,7 +439,7 @@ fn json_f64(v: f64) -> String {
     format!("{v:?}")
 }
 
-fn json_str(s: &str) -> String {
+pub(crate) fn json_str(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {
@@ -739,6 +836,59 @@ mod tests {
         assert!(text.contains("session_compile_seconds_count 1"));
         // Buckets are cumulative: the 0.016 bucket includes the 0.01 obs.
         assert!(text.contains("session_compile_seconds_bucket{le=\"0.016\"} 1"));
+    }
+
+    #[test]
+    fn quantile_interpolates_within_buckets() {
+        let mut h = Histogram::new(&[1.0, 2.0, 4.0]);
+        assert_eq!(h.quantile(0.5), None, "empty histogram has no quantiles");
+        // Four observations in (1, 2]: rank interpolates across that bucket.
+        for v in [1.2, 1.4, 1.6, 1.8] {
+            h.observe(v);
+        }
+        assert_eq!(h.quantile(0.5), Some(1.5));
+        assert_eq!(h.quantile(1.0), Some(2.0));
+        // An overflow observation clamps to the largest finite bound.
+        h.observe(100.0);
+        assert_eq!(h.quantile(0.99), Some(4.0));
+        // Positive observations always yield a positive estimate.
+        let mut tiny = Histogram::new(REQUEST_BUCKETS);
+        tiny.observe(0.0001);
+        assert!(tiny.quantile(0.5).unwrap() > 0.0);
+        assert!(tiny.quantile(0.99).unwrap() > 0.0);
+    }
+
+    #[test]
+    fn labeled_keys_render_as_series_of_one_family() {
+        let mut r = MetricsRegistry::new();
+        let a = labeled("req_seconds", &[("endpoint", "POST /v1/experiments")]);
+        let b = labeled("req_seconds", &[("endpoint", "GET /metrics")]);
+        r.observe(&a, &[0.5, 2.0], 0.1);
+        r.observe(&b, &[0.5, 2.0], 1.0);
+        r.add(&labeled("hits_total", &[("endpoint", "GET /metrics")]), 3);
+        let text = r.to_prometheus();
+        // One TYPE header per family, even with two labeled series.
+        assert_eq!(text.matches("# TYPE req_seconds histogram").count(), 1);
+        assert!(text.contains("# TYPE hits_total counter"));
+        assert!(text.contains("hits_total{endpoint=\"GET /metrics\"} 3"));
+        // `le` merges into the series' own label set.
+        assert!(
+            text.contains("req_seconds_bucket{endpoint=\"GET /metrics\",le=\"0.5\"} 0"),
+            "{text}"
+        );
+        assert!(
+            text.contains("req_seconds_bucket{endpoint=\"POST /v1/experiments\",le=\"+Inf\"} 1"),
+            "{text}"
+        );
+        assert!(text.contains("req_seconds_count{endpoint=\"GET /metrics\"} 1"));
+        assert!(text.contains("req_seconds_sum{endpoint=\"POST /v1/experiments\"} 0.1"));
+    }
+
+    #[test]
+    fn labeled_escapes_values() {
+        assert_eq!(labeled("m", &[("k", "a\"b\\c\nd")]), "m{k=\"a\\\"b\\\\c\\nd\"}");
+        assert_eq!(split_labels("m{k=\"v\"}"), ("m", Some("k=\"v\"")));
+        assert_eq!(split_labels("plain"), ("plain", None));
     }
 
     #[test]

@@ -20,7 +20,7 @@
 //! # Ok::<(), tagstudy::StudyError>(())
 //! ```
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::num::NonZeroUsize;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -32,6 +32,7 @@ use crate::measure::{
     run_benchmark_timed, run_inline_timed, InlineProgram, Measurement, StudyError, Timing,
 };
 use crate::metrics::{names, MetricsRegistry, DURATION_BUCKETS, OCCUPANCY_BUCKETS};
+use crate::trace::{SpanId, SpanRecord, TraceContext, Tracer};
 
 /// A resolved program name: either one of the ten compiled-in paper
 /// benchmarks, or an [`InlineProgram`] registered on this session.
@@ -116,6 +117,19 @@ pub struct Session {
     metrics: Mutex<MetricsRegistry>,
     /// Measurements currently on a worker (pool-occupancy observations).
     inflight: AtomicUsize,
+    /// Optional flight recorder (see [`crate::trace`]). When attached *and* a
+    /// trace context is active, lifecycle events additionally synthesize
+    /// spans; otherwise the tracing path is a single `Option` check.
+    tracer: Option<Tracer>,
+    /// The trace the current batch's spans attach to (set by
+    /// [`Session::begin_trace`], cleared by [`Session::end_trace`]). Workers
+    /// read it through `&self` while a batch is in flight; it only changes
+    /// between batches, under the caller's `&mut`.
+    trace_ctx: Option<TraceContext>,
+    /// Cache keys that came from [`Session::seed`] (a persistent store)
+    /// rather than a measurement in this process — hits on them span as
+    /// `store.read`, hits on in-process results as `cache.read`.
+    seeded: HashSet<(String, Config)>,
 }
 
 impl Default for Session {
@@ -148,6 +162,9 @@ impl Session {
             stats: SessionStats::default(),
             metrics: Mutex::new(MetricsRegistry::new()),
             inflight: AtomicUsize::new(0),
+            tracer: None,
+            trace_ctx: None,
+            seeded: HashSet::new(),
         }
     }
 
@@ -180,6 +197,28 @@ impl Session {
     ) -> Session {
         self.writeback = Some(Arc::new(f));
         self
+    }
+
+    /// Attach a flight recorder. Spans are only synthesized while a trace
+    /// context is active (see [`Session::begin_trace`]), and never alter a
+    /// measurement: they wrap the same wall-clock split [`Timing`] already
+    /// records, so `Stats` and outputs stay byte-identical (test-asserted).
+    pub fn with_tracer(mut self, tracer: Tracer) -> Session {
+        self.tracer = Some(tracer);
+        self
+    }
+
+    /// Activate `ctx` as the trace the next batch's spans attach to. The
+    /// daemon calls this (under its session lock) before `measure_many`, so
+    /// every cache-read / measure / compile / simulate span of the batch
+    /// parents under the request's batch span.
+    pub fn begin_trace(&mut self, ctx: TraceContext) {
+        self.trace_ctx = Some(ctx);
+    }
+
+    /// Deactivate the current trace context (see [`Session::begin_trace`]).
+    pub fn end_trace(&mut self) {
+        self.trace_ctx = None;
     }
 
     /// The session's counters so far.
@@ -223,6 +262,7 @@ impl Session {
                 &[("program", &key.0), ("config", &key.1.to_string())],
             );
         }
+        self.seeded.insert(key.clone());
         self.cache.insert(key, (measurement, timing));
         true
     }
@@ -245,6 +285,7 @@ impl Session {
         let replaced = self.sources.insert(name.clone(), program).is_some();
         if replaced {
             self.cache.retain(|(cached, _), _| *cached != name);
+            self.seeded.retain(|(cached, _)| *cached != name);
         }
         let mut m = self.lock_metrics();
         m.inc(names::SOURCES_REGISTERED);
@@ -592,9 +633,107 @@ impl Session {
         self.metrics().to_prometheus()
     }
 
+    /// Synthesize trace spans for one lifecycle event, when a tracer and an
+    /// active trace context are both present. A cache hit becomes a point
+    /// `store.read` (seeded from the persistent store) or `cache.read`
+    /// (measured earlier in-process) span; a finished measurement becomes a
+    /// `measure` span with `compile` and `simulate` children cut from the
+    /// same [`Timing`] split the metrics already record. Returns the spans
+    /// recorded so [`Session::emit`] can mirror them onto the event spine.
+    fn record_spans(&self, event: &Progress) -> Vec<SpanRecord> {
+        let (Some(tracer), Some(ctx)) = (&self.tracer, self.trace_ctx) else {
+            return Vec::new();
+        };
+        let mut spans = Vec::new();
+        let mut push = |tracer: &Tracer, span: SpanRecord| {
+            tracer.record(span.clone());
+            spans.push(span);
+        };
+        match event {
+            Progress::Hit { program, config } => {
+                let seeded = self.seeded.contains(&(program.clone(), *config));
+                push(
+                    tracer,
+                    SpanRecord {
+                        trace: ctx.trace,
+                        id: SpanId::generate(),
+                        parent: Some(ctx.parent),
+                        name: if seeded { "store.read" } else { "cache.read" }.to_string(),
+                        component: "session".to_string(),
+                        start_us: tracer.now_us(),
+                        dur_us: 0,
+                        labels: vec![
+                            ("program".to_string(), program.clone()),
+                            ("config".to_string(), config.to_string()),
+                        ],
+                    },
+                );
+            }
+            // Started carries no duration; the whole measurement spans at
+            // Finished, back-dated from the recorded wall-time split.
+            Progress::Started { .. } => {}
+            Progress::Finished {
+                program,
+                config,
+                timing,
+            } => {
+                let end = tracer.now_us();
+                let compile_us = timing.compile.as_micros() as u64;
+                let simulate_us = timing.simulate.as_micros() as u64;
+                let start = end.saturating_sub(compile_us + simulate_us);
+                let measure_id = SpanId::generate();
+                let labels = vec![
+                    ("program".to_string(), program.clone()),
+                    ("config".to_string(), config.to_string()),
+                ];
+                push(
+                    tracer,
+                    SpanRecord {
+                        trace: ctx.trace,
+                        id: measure_id,
+                        parent: Some(ctx.parent),
+                        name: "measure".to_string(),
+                        component: "session".to_string(),
+                        start_us: start,
+                        dur_us: compile_us + simulate_us,
+                        labels: labels.clone(),
+                    },
+                );
+                push(
+                    tracer,
+                    SpanRecord {
+                        trace: ctx.trace,
+                        id: SpanId::generate(),
+                        parent: Some(measure_id),
+                        name: "compile".to_string(),
+                        component: "session".to_string(),
+                        start_us: start,
+                        dur_us: compile_us,
+                        labels: labels.clone(),
+                    },
+                );
+                push(
+                    tracer,
+                    SpanRecord {
+                        trace: ctx.trace,
+                        id: SpanId::generate(),
+                        parent: Some(measure_id),
+                        name: "simulate".to_string(),
+                        component: "session".to_string(),
+                        start_us: start + compile_us,
+                        dur_us: simulate_us,
+                        labels,
+                    },
+                );
+            }
+        }
+        spans
+    }
+
     /// The instrumentation spine: record the event in the metrics registry,
     /// then hand it to the optional [`Progress`] adapter.
     fn emit(&self, event: &Progress) {
+        let spans = self.record_spans(event);
         {
             let mut m = self.lock_metrics();
             match event {
@@ -633,6 +772,26 @@ impl Session {
                         ],
                     );
                 }
+            }
+            // Mirror synthesized spans onto the event spine, so the machine-
+            // readable log carries the same trace/span ids as the recorder.
+            for s in &spans {
+                let program = s
+                    .labels
+                    .iter()
+                    .find(|(k, _)| k == "program")
+                    .map_or("", |(_, v)| v.as_str());
+                m.event(
+                    "span_end",
+                    &[
+                        ("program", program),
+                        ("span_name", &s.name),
+                        ("component", &s.component),
+                        ("trace", &s.trace.to_string()),
+                        ("span", &s.id.to_string()),
+                        ("dur_us", &s.dur_us.to_string()),
+                    ],
+                );
             }
         }
         if let Some(f) = &self.progress {
@@ -978,6 +1137,70 @@ mod tests {
         );
         let err = s.measure("never-registered", cfg).unwrap_err();
         assert!(matches!(err, StudyError::UnknownProgram(_)), "{err}");
+    }
+
+    /// With a tracer attached and a context active, a batch synthesizes
+    /// session spans (cache.read for hits, measure/compile/simulate for
+    /// misses, store.read for seeded hits) that share the request's trace id
+    /// and ride the event spine; without a context, nothing is recorded.
+    #[test]
+    fn traced_batch_records_session_spans() {
+        use crate::trace::{TraceContext, Tracer};
+        let tracer = Tracer::new(8, Duration::from_secs(3600));
+        let mut s = Session::serial().with_tracer(tracer.clone());
+        let cfg = Config::baseline(CheckingMode::None);
+        s.measure("frl", cfg).unwrap(); // no context: no spans
+
+        let ctx = TraceContext::fresh();
+        s.begin_trace(ctx);
+        s.measure("frl", cfg).unwrap(); // hit → cache.read
+        s.measure("trav", cfg).unwrap(); // miss → measure + compile + simulate
+        s.end_trace();
+        s.measure("boyer", cfg).unwrap(); // context cleared: no spans
+
+        tracer.finish(ctx.trace, ctx.parent).expect("trace recorded");
+        let rec = tracer.lookup(ctx.trace).unwrap();
+        let names: Vec<&str> = rec.spans.iter().map(|sp| sp.name.as_str()).collect();
+        assert_eq!(names, ["cache.read", "measure", "compile", "simulate"]);
+        assert!(rec.spans.iter().all(|sp| sp.trace == ctx.trace));
+        let measure = rec.spans.iter().find(|sp| sp.name == "measure").unwrap();
+        assert_eq!(measure.parent, Some(ctx.parent));
+        for leaf in ["compile", "simulate"] {
+            let sp = rec.spans.iter().find(|sp| sp.name == leaf).unwrap();
+            assert_eq!(sp.parent, Some(measure.id), "{leaf} nests under measure");
+        }
+
+        // The spans were mirrored onto the event spine, program-labeled.
+        let m = s.metrics();
+        let span_events: Vec<_> = m.events().iter().filter(|e| e.name == "span_end").collect();
+        assert_eq!(span_events.len(), 4);
+        assert!(span_events
+            .iter()
+            .all(|e| e.labels.iter().any(|(k, v)| k == "program" && !v.is_empty())));
+    }
+
+    /// A hit on a seeded entry spans as `store.read` — the provenance that
+    /// lets a warm-restart trace prove "no simulation happened".
+    #[test]
+    fn seeded_hit_spans_as_store_read() {
+        use crate::trace::{TraceContext, Tracer};
+        let cfg = Config::baseline(CheckingMode::None);
+        let mut cold = Session::serial();
+        let m = cold.measure("frl", cfg).unwrap();
+        let t = Timing::default();
+
+        let tracer = Tracer::new(8, Duration::from_secs(3600));
+        let mut warm = Session::serial().with_tracer(tracer.clone());
+        warm.seed(m, t);
+        let ctx = TraceContext::fresh();
+        warm.begin_trace(ctx);
+        warm.measure("frl", cfg).unwrap();
+        warm.end_trace();
+        tracer.finish(ctx.trace, ctx.parent).expect("trace recorded");
+        let rec = tracer.lookup(ctx.trace).unwrap();
+        assert_eq!(rec.spans.len(), 1);
+        assert_eq!(rec.spans[0].name, "store.read");
+        assert!(!rec.spans.iter().any(|sp| sp.name == "simulate"));
     }
 
     #[test]
