@@ -9,13 +9,17 @@
 //! profile <benchmark> [--scheme high5|high6|low2|low3] [--checking none|full]
 //!                     [--hw plain|tagbr|genarith|maximal|spur]
 //!                     [--backend classic|fast|ref]
+//!                     [--timing ideal|classic5|modern]
 //!                     [--folded] [--metrics json|prom]
 //! ```
 //!
 //! Default output is the per-function report (stdout). `--folded` instead
 //! prints folded call stacks (`frame;frame count` per line) ready for
-//! `flamegraph.pl` or any compatible renderer. `--metrics json|prom` prints
-//! the session's metrics registry after the run, in JSON or Prometheus text.
+//! `flamegraph.pl` or any compatible renderer. `--timing` with a non-ideal
+//! preset attaches a [`mipsx::TimingModel`] to the same run and appends the
+//! per-function *stall* attribution (icache/dcache/mispredict/load-use) after
+//! the cycle report. `--metrics json|prom` prints the session's metrics
+//! registry after the run, in JSON or Prometheus text.
 //!
 //! Scheme/checking/hardware names are the shared [`bench::spec`] vocabulary —
 //! the same strings `tagctl` and the `tagstudyd` wire protocol accept.
@@ -27,7 +31,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: profile <benchmark> [--scheme high5|high6|low2|low3] \
          [--checking none|full] [--hw plain|tagbr|genarith|maximal|spur] \
-         [--backend classic|fast|ref] [--folded] [--metrics json|prom]\nbenchmarks: {}",
+         [--backend classic|fast|ref] [--timing ideal|classic5|modern] \
+         [--folded] [--metrics json|prom]\nbenchmarks: {}",
         programs::names().join(" ")
     );
     std::process::exit(2);
@@ -61,6 +66,7 @@ fn main() {
     let mut checking = tagstudy::CheckingMode::Full;
     let mut hw_name = spec::DEFAULT_HW.to_string();
     let mut backend = mipsx::Backend::default();
+    let mut timing = mipsx::TimingConfig::ideal();
     let mut folded = false;
     let mut metrics: Option<String> = None;
     while let Some(arg) = args.next() {
@@ -75,6 +81,9 @@ fn main() {
             "--backend" => {
                 backend = parse_or_usage(spec::parse_backend(&next_arg(&mut args, "--backend")));
             }
+            "--timing" => {
+                timing = parse_or_usage(spec::parse_timing(&next_arg(&mut args, "--timing")));
+            }
             "--folded" => folded = true,
             "--metrics" => metrics = Some(next_arg(&mut args, "--metrics")),
             _ => {
@@ -88,17 +97,22 @@ fn main() {
     let hw = parse_or_usage(spec::parse_hw(&hw_name, scheme));
     let config = Config::new(scheme, checking)
         .with_hw(hw)
-        .with_backend(backend);
+        .with_backend(backend)
+        .with_timing(timing);
 
     let session = bench::session();
-    let (measurement, profiler) =
-        bench::unwrap_study(session.profile(&benchmark, config, programs::FUEL));
+    let (measurement, profiler, stalls) =
+        bench::unwrap_study(session.profile_with_stalls(&benchmark, config, programs::FUEL));
 
     if folded {
         // Folded stacks only: pipeable straight into flamegraph.pl.
         print!("{}", profiler.folded());
     } else {
         print!("{}", bench::profile_report(&measurement, &profiler));
+        if let Some(stalls) = &stalls {
+            println!();
+            print!("{}", bench::stall_report(&measurement, stalls));
+        }
     }
     match metrics.as_deref() {
         None => {}

@@ -97,3 +97,71 @@ pub fn profile_report(measurement: &Measurement, profiler: &mipsx::Profiler) -> 
     out.push_str(&profiler.report());
     out
 }
+
+/// Render the per-function *stall* attribution of a timing-model run: the
+/// microarchitectural counterpart of [`profile_report`]. Functions are listed
+/// in descending order of total stall cycles (ties broken by name); the
+/// header reconciles the per-function books against the run's whole-program
+/// stall breakdown.
+///
+/// # Panics
+///
+/// If the measurement carries no stall breakdown, or the per-function stalls
+/// do not sum to it exactly — either would mean the attribution lost or
+/// invented cycles.
+pub fn stall_report(measurement: &Measurement, stalls: &[mipsx::FuncStalls]) -> String {
+    use std::fmt::Write as _;
+    let timing = measurement
+        .stats
+        .timing
+        .as_ref()
+        .expect("stall report needs a timed measurement");
+    let mut per_cause = [0u64; 4];
+    for f in stalls {
+        for (total, s) in per_cause.iter_mut().zip(f.stalls) {
+            *total += s;
+        }
+    }
+    assert_eq!(
+        per_cause,
+        [
+            timing.stall_icache,
+            timing.stall_dcache,
+            timing.stall_mispredict,
+            timing.stall_load_use
+        ],
+        "per-function stalls reconcile with the whole-program breakdown"
+    );
+    let total = timing.total_stalls();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "stalls: {} under {} — {} architectural + {} stall = {} timed cycles (reconciled exactly)",
+        measurement.program,
+        measurement.config,
+        measurement.stats.cycles,
+        total,
+        timing.timed_cycles(measurement.stats.cycles),
+    );
+    let _ = writeln!(out);
+    let _ = writeln!(
+        out,
+        "{:<24} {:>10} {:>10} {:>10} {:>10} {:>10} {:>7}",
+        "function", "icache", "dcache", "mispred", "load-use", "total", "share"
+    );
+    let mut rows: Vec<&mipsx::FuncStalls> = stalls.iter().filter(|f| f.total() > 0).collect();
+    rows.sort_by(|a, b| b.total().cmp(&a.total()).then(a.name.cmp(&b.name)));
+    for f in rows {
+        let share = if total == 0 {
+            0.0
+        } else {
+            100.0 * f.total() as f64 / total as f64
+        };
+        let _ = writeln!(
+            out,
+            "{:<24} {:>10} {:>10} {:>10} {:>10} {:>10} {:>6.1}%",
+            f.name, f.stalls[0], f.stalls[1], f.stalls[2], f.stalls[3], f.total(), share
+        );
+    }
+    out
+}

@@ -1,11 +1,15 @@
 //! Textual experiment specs, shared by every front end.
 //!
 //! One experiment point is written `program:scheme:checking:hw` with trailing
-//! fields optional (`frl`, `frl:low2`, `frl:high5:full:tagbr`, …). A final
+//! fields optional (`frl`, `frl:low2`, `frl:high5:full:tagbr`, …). Trailing
+//! `key=value` fields (in any order) refine the point: a
 //! `backend=classic|fast|ref` field pins the simulator backend
 //! (`frl:backend=ref`, `frl:low2:none:plain:backend=classic`); backends
-//! produce identical results, so the key never enters cache identities. The
-//! same grammar — and the same flag vocabulary (`--scheme`, `--checking`,
+//! produce identical results, so that key never enters cache identities. A
+//! `timing=ideal|classic5|modern` field attaches a microarchitectural timing
+//! model (`frl:low2:none:plain:timing=modern`) — unlike the backend, timing
+//! **is** part of the point's identity, since it adds a stall breakdown to
+//! the measured stats. The same grammar — and the same flag vocabulary (`--scheme`, `--checking`,
 //! `--hw`) — is understood by the `profile` binary, the `tagctl` client, and
 //! the `tagstudyd` daemon's wire protocol, so a spec that works in one place
 //! works everywhere.
@@ -68,12 +72,13 @@ impl ExperimentSpec {
         }
     }
 
-    /// Render back to the canonical `program:scheme:checking:hw` form.
-    /// (Inline specs render with their `inline:<hash>` name; the result
+    /// Render back to the canonical `program:scheme:checking:hw` form, with
+    /// a `:timing=` key appended when a non-ideal timing model is part of
+    /// the point's identity. (Inline specs render with their `inline:<hash>` name; the result
     /// identifies the point but is not re-parseable as a string spec, since
     /// inline sources only travel as objects.)
     pub fn to_spec_string(&self) -> String {
-        format!(
+        let mut spec = format!(
             "{}:{}:{}:{}",
             self.program,
             self.config.scheme.name(),
@@ -82,7 +87,11 @@ impl ExperimentSpec {
                 CheckingMode::Full => "full",
             },
             hw_level_name(&self.config)
-        )
+        );
+        if !self.config.timing.is_ideal() {
+            spec.push_str(&format!(":timing={}", self.config.timing));
+        }
+        spec
     }
 }
 
@@ -150,6 +159,21 @@ pub fn parse_backend(name: &str) -> Result<mipsx::Backend, String> {
         .ok_or_else(|| format!("unknown backend {name:?} (want classic, fast, or ref)"))
 }
 
+/// Parse a timing-preset name (`ideal`, `classic5`, or `modern`), ignoring
+/// ASCII case.
+///
+/// # Errors
+///
+/// A usage-ready message naming the accepted presets.
+pub fn parse_timing(name: &str) -> Result<mipsx::TimingConfig, String> {
+    mipsx::TimingConfig::preset(&name.to_ascii_lowercase()).ok_or_else(|| {
+        format!(
+            "unknown timing preset {name:?} (want {})",
+            mipsx::TIMING_PRESETS.join(", ")
+        )
+    })
+}
+
 /// Parse a hardware level name for `scheme` (the tag-dependent levels need the
 /// scheme's tag width), ignoring ASCII case.
 ///
@@ -174,36 +198,60 @@ pub fn parse_hw(name: &str, scheme: tagword::TagScheme) -> Result<mipsx::HwConfi
 /// and the grammar reminder, in that order.
 fn spec_error(text: &str, why: impl std::fmt::Display) -> String {
     format!(
-        "{why} in spec {text:?} (want program[:scheme[:checking[:hw]]][:backend=classic|fast|ref])"
+        "{why} in spec {text:?} (want program[:scheme[:checking[:hw]]]\
+         [:backend=classic|fast|ref][:timing=ideal|classic5|modern])"
     )
 }
 
-/// Parse one `program[:scheme[:checking[:hw]]][:backend=B]` spec, validating
-/// the benchmark name against the registry. Field values are case-insensitive
-/// and whitespace around fields is ignored; the benchmark name itself is
-/// exact. The optional final `backend=` field selects the simulator backend
-/// without affecting the point's identity (see [`Config`]).
+/// Parse one `program[:scheme[:checking[:hw]]][:backend=B][:timing=T]` spec,
+/// validating the benchmark name against the registry. Field values are
+/// case-insensitive and whitespace around fields is ignored; the benchmark
+/// name itself is exact. The optional trailing `key=value` fields (accepted
+/// in either order) select the simulator backend — which never affects the
+/// point's identity — and the timing model, which does (see [`Config`]).
 ///
 /// # Errors
 ///
 /// A usage-ready message — always phrased by the same canonical path — for an
-/// empty spec or field, an unknown benchmark, an unknown field value, or too
-/// many `:`-separated fields.
+/// empty spec or field, an unknown benchmark, an unknown field value, a
+/// duplicated trailing key, or too many `:`-separated fields.
 pub fn parse_spec(text: &str) -> Result<ExperimentSpec, String> {
     const FIELD_NAMES: [&str; 4] = ["benchmark", "scheme", "checking", "hw"];
     let mut fields: Vec<&str> = text.split(':').map(str::trim).collect();
     let mut backend = mipsx::Backend::default();
-    let last: &str = fields.last().copied().unwrap_or("");
-    if fields.len() >= 2
-        && last
+    let mut timing = mipsx::TimingConfig::ideal();
+    let mut saw_backend = false;
+    let mut saw_timing = false;
+    // Pop trailing `key=value` fields; the keys may appear in either order,
+    // each at most once. (A key in first position is a program name, not a
+    // key — it falls through to the unknown-benchmark error.)
+    while fields.len() >= 2 {
+        let last: &str = fields.last().copied().unwrap_or("");
+        let (key, prefix_len, seen) = if last
             .get(..8)
             .is_some_and(|p| p.eq_ignore_ascii_case("backend="))
-    {
-        let name = last[8..].trim();
-        if name.is_empty() {
-            return Err(spec_error(text, "empty backend field"));
+        {
+            ("backend", 8, &mut saw_backend)
+        } else if last
+            .get(..7)
+            .is_some_and(|p| p.eq_ignore_ascii_case("timing="))
+        {
+            ("timing", 7, &mut saw_timing)
+        } else {
+            break;
+        };
+        if *seen {
+            return Err(spec_error(text, format!("duplicate {key} field")));
         }
-        backend = parse_backend(name).map_err(|e| spec_error(text, e))?;
+        *seen = true;
+        let name = last[prefix_len..].trim();
+        if name.is_empty() {
+            return Err(spec_error(text, format!("empty {key} field")));
+        }
+        match key {
+            "backend" => backend = parse_backend(name).map_err(|e| spec_error(text, e))?,
+            _ => timing = parse_timing(name).map_err(|e| spec_error(text, e))?,
+        }
         fields.pop();
     }
     if fields.len() > FIELD_NAMES.len() {
@@ -235,7 +283,8 @@ pub fn parse_spec(text: &str) -> Result<ExperimentSpec, String> {
         program: program.to_string(),
         config: Config::new(scheme, checking)
             .with_hw(hw)
-            .with_backend(backend),
+            .with_backend(backend)
+            .with_timing(timing),
         source: None,
         heap_semi_bytes: None,
     })
@@ -245,10 +294,13 @@ pub fn parse_spec(text: &str) -> Result<ExperimentSpec, String> {
 pub fn spec_grammar() -> String {
     let schemes: Vec<&str> = tagword::ALL_SCHEMES.iter().map(|s| s.name()).collect();
     format!(
-        "spec: program[:scheme[:checking[:hw]]][:backend=B]  (schemes: {}; checking: none|full; hw: {}; backend: classic|fast|ref)\n\
+        "spec: program[:scheme[:checking[:hw]]][:backend=B][:timing=T]  \
+         (schemes: {}; checking: none|full; hw: {}; backend: classic|fast|ref; \
+         timing: {})\n\
          benchmarks: {}",
         schemes.join("|"),
         HW_LEVELS.join("|"),
+        mipsx::TIMING_PRESETS.join("|"),
         programs::names().join(" ")
     )
 }
@@ -383,6 +435,75 @@ mod tests {
         }
         // A backend key anywhere but last is not recognized as a key.
         assert!(parse_spec("frl:backend=fast:low2")
+            .unwrap_err()
+            .contains("unknown scheme"));
+    }
+
+    /// The trailing `timing=` key attaches a timing preset — which, unlike
+    /// the backend, IS identity and round-trips through the rendered form.
+    #[test]
+    fn timing_key_is_parsed_and_is_identity() {
+        use mipsx::TimingConfig;
+        let cases = [
+            ("frl:timing=ideal", TimingConfig::ideal()),
+            ("frl:timing=classic5", TimingConfig::classic5()),
+            ("frl:low2:timing=modern", TimingConfig::modern()),
+            ("frl:high5:full:plain:timing=classic5", TimingConfig::classic5()),
+            ("frl : TIMING=Modern", TimingConfig::modern()),
+        ];
+        for (text, want) in cases {
+            let s = parse_spec(text).unwrap();
+            assert_eq!(s.config.timing, want, "{text}");
+            // Unlike backend, a non-ideal timing model renders and re-parses:
+            // the spec string IS the identity.
+            let rendered = s.to_spec_string();
+            assert_eq!(parse_spec(&rendered).unwrap(), s, "{text} via {rendered}");
+            assert_eq!(rendered.contains("timing="), !want.is_ideal(), "{text}");
+        }
+        assert!(
+            parse_spec("frl").unwrap().config.timing.is_ideal(),
+            "omitted key means the ideal model"
+        );
+        // Ideal and non-ideal are different points.
+        assert_ne!(
+            parse_spec("frl").unwrap(),
+            parse_spec("frl:timing=modern").unwrap()
+        );
+    }
+
+    /// Backend and timing keys compose in either order; bad or duplicate
+    /// values go through the canonical error path.
+    #[test]
+    fn trailing_keys_compose_and_fail_canonically() {
+        for text in [
+            "frl:low2:none:tagbr:backend=ref:timing=modern",
+            "frl:low2:none:tagbr:timing=modern:backend=ref",
+        ] {
+            let s = parse_spec(text).unwrap();
+            assert_eq!(s.config.backend, mipsx::Backend::Ref, "{text}");
+            assert_eq!(s.config.timing, mipsx::TimingConfig::modern(), "{text}");
+            assert_eq!(s.to_spec_string(), "frl:low2:none:tagbr:timing=modern");
+        }
+        for (text, reason) in [
+            ("frl:timing=warp", "unknown timing preset \"warp\""),
+            ("frl:timing=", "empty timing field"),
+            ("frl:timing=ideal:timing=modern", "duplicate timing field"),
+            ("frl:backend=ref:backend=fast", "duplicate backend field"),
+            ("frl:high5:full:plain:timing=x", "unknown timing preset"),
+        ] {
+            let err = parse_spec(text).unwrap_err();
+            assert!(err.contains(reason), "{text:?}: {err}");
+            assert!(
+                err.contains(&format!("in spec {text:?}")),
+                "{text:?}: error does not quote the spec: {err}"
+            );
+            assert!(
+                err.contains("want program[:scheme[:checking[:hw]]]"),
+                "{text:?}: error does not restate the grammar: {err}"
+            );
+        }
+        // A timing key anywhere but trailing is not recognized as a key.
+        assert!(parse_spec("frl:timing=modern:low2")
             .unwrap_err()
             .contains("unknown scheme"));
     }

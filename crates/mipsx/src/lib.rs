@@ -80,6 +80,7 @@ pub mod exec;
 pub mod profile;
 pub mod sched;
 pub mod symtab;
+pub mod timing;
 pub mod trace;
 pub mod verify;
 
@@ -96,3 +97,7 @@ pub use refcpu::{Fault, RefCpu};
 pub use reg::Reg;
 pub use stats::{InsnClass, Stats, ALL_CLASSES};
 pub use symtab::{CallSite, FuncSym, SymbolTable};
+pub use timing::{
+    CacheParams, FuncStalls, PredictorKind, StallCause, TimingConfig, TimingModel, TimingStats,
+    ALL_STALL_CAUSES, TIMING_PRESETS,
+};

@@ -129,6 +129,11 @@ pub struct Stats {
     pub tag_cycles: HashMap<(TagOpKind, Provenance), u64>,
     /// Cycles per (checking category, tag op present) for checking-added work.
     pub check_cat_cycles: HashMap<CheckCat, u64>,
+    /// Microarchitectural stall breakdown, present only when a
+    /// [`TimingModel`](crate::timing::TimingModel) was attached to the run.
+    /// Purely additive: `cycles` above stays the architectural count, and the
+    /// timed total is `cycles + timing.total_stalls()`.
+    pub timing: Option<crate::timing::TimingStats>,
 }
 
 impl Stats {
@@ -230,6 +235,9 @@ impl AddAssign<&Stats> for Stats {
         }
         for (k, v) in &rhs.check_cat_cycles {
             *self.check_cat_cycles.entry(*k).or_insert(0) += v;
+        }
+        if let Some(t) = &rhs.timing {
+            *self.timing.get_or_insert_with(Default::default) += t;
         }
     }
 }

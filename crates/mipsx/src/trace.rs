@@ -241,3 +241,44 @@ impl Observer for TraceBuffer {
         self.squashes.push((pc, branch_annot, cycle));
     }
 }
+
+/// Two observers driven by one run — e.g. a
+/// [`Profiler`](crate::profile::Profiler) and a
+/// [`TimingModel`](crate::timing::TimingModel) watching the same stream. The
+/// fields are public so both halves can be inspected after the run.
+///
+/// `retire` stops the simulation when *either* half asks to
+/// (`ControlFlow::Break`); the other half still sees the event first.
+#[derive(Debug, Clone, Default)]
+pub struct Chain<A, B> {
+    /// The first observer (sees each event first).
+    pub first: A,
+    /// The second observer.
+    pub second: B,
+}
+
+impl<A: Observer, B: Observer> Chain<A, B> {
+    /// Chain `first` and `second`.
+    pub fn new(first: A, second: B) -> Chain<A, B> {
+        Chain { first, second }
+    }
+}
+
+impl<A: Observer, B: Observer> Observer for Chain<A, B> {
+    const ENABLED: bool = A::ENABLED || B::ENABLED;
+
+    fn retire(&mut self, ev: &Retirement, annot: Annot, cycle: u64) -> ControlFlow<()> {
+        let a = self.first.retire(ev, annot, cycle);
+        let b = self.second.retire(ev, annot, cycle);
+        if a.is_break() || b.is_break() {
+            ControlFlow::Break(())
+        } else {
+            ControlFlow::Continue(())
+        }
+    }
+
+    fn squash(&mut self, pc: usize, branch_annot: Annot, cycle: u64) {
+        self.first.squash(pc, branch_annot, cycle);
+        self.second.squash(pc, branch_annot, cycle);
+    }
+}

@@ -830,30 +830,7 @@ impl Daemon {
             m.add(daemon_metrics::TRACES_EVICTED, recorder.evicted);
             m.add(daemon_metrics::TRACES_SLOW, recorder.slow);
             m.add(daemon_metrics::SPANS_DROPPED, recorder.dropped_spans);
-            // Latency quantiles estimated at scrape time from the
-            // per-endpoint request-duration histograms.
-            let prefix = format!("{}{{endpoint=\"", daemon_metrics::REQUEST_DURATION);
-            let mut quantiles: Vec<(String, f64)> = Vec::new();
-            for (key, hist) in m.histograms() {
-                let Some(endpoint) = key
-                    .strip_prefix(prefix.as_str())
-                    .and_then(|rest| rest.strip_suffix("\"}"))
-                else {
-                    continue;
-                };
-                for (q, q_label) in [(0.5, "0.5"), (0.9, "0.9"), (0.99, "0.99")] {
-                    if let Some(v) = hist.quantile(q) {
-                        quantiles.push((
-                            labeled(
-                                daemon_metrics::LATENCY_QUANTILE,
-                                &[("endpoint", endpoint), ("quantile", q_label)],
-                            ),
-                            v,
-                        ));
-                    }
-                }
-            }
-            for (key, value) in quantiles {
+            for (key, value) in latency_quantile_gauges(&m) {
                 m.set_gauge(&key, value);
             }
             m.to_prometheus()
@@ -873,6 +850,44 @@ impl Daemon {
         });
         format!("{session_text}{daemon_text}{store_text}")
     }
+}
+
+/// Latency-quantile gauges estimated at scrape time from the per-endpoint
+/// `daemon_request_duration_seconds` histograms: one
+/// `daemon_request_latency_quantile_seconds` series per (endpoint, quantile).
+///
+/// An endpoint whose histogram holds no observations contributes **no**
+/// series at all — the quantile of an empty histogram is undefined, and
+/// emitting it as `NaN` or `0` would poison dashboards that aggregate over
+/// endpoints. (Empty histograms do occur: a scrape can race request
+/// registration, and snapshots restored from JSON may carry zeroed buckets.)
+pub fn latency_quantile_gauges(m: &MetricsRegistry) -> Vec<(String, f64)> {
+    let prefix = format!("{}{{endpoint=\"", daemon_metrics::REQUEST_DURATION);
+    let mut quantiles: Vec<(String, f64)> = Vec::new();
+    for (key, hist) in m.histograms() {
+        let Some(endpoint) = key
+            .strip_prefix(prefix.as_str())
+            .and_then(|rest| rest.strip_suffix("\"}"))
+        else {
+            continue;
+        };
+        if hist.count == 0 {
+            // No observations yet: omit the endpoint, don't emit garbage.
+            continue;
+        }
+        for (q, q_label) in [(0.5, "0.5"), (0.9, "0.9"), (0.99, "0.99")] {
+            if let Some(v) = hist.quantile(q) {
+                quantiles.push((
+                    labeled(
+                        daemon_metrics::LATENCY_QUANTILE,
+                        &[("endpoint", endpoint), ("quantile", q_label)],
+                    ),
+                    v,
+                ));
+            }
+        }
+    }
+    quantiles
 }
 
 /// Normalize a request to a bounded endpoint label for metrics and span

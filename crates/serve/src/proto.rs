@@ -4,9 +4,9 @@
 //! A batch body is `{"experiments": [ <spec>, ... ]}` where each spec is
 //! either a string in the [`bench::spec`] grammar (`"frl:low2:none:tagbr"`),
 //! an object `{"program": "frl", "scheme": "low2", "checking": "none",
-//! "hw": "tagbr"}` with every field but `program` optional, or an *inline*
-//! object `{"source": "(print 1)", "heap": 65536, ...}` carrying its own Lisp
-//! source — measured under the content-derived `inline:<hash>` name, so equal
+//! "hw": "tagbr", "timing": "modern"}` with every field but `program`
+//! optional, or an *inline* object `{"source": "(print 1)", "heap": 65536,
+//! ...}` carrying its own Lisp source — measured under the content-derived `inline:<hash>` name, so equal
 //! sources share a cache entry per configuration.
 //!
 //! The response is `{"results": [ ... ]}` with one entry per request, in
@@ -34,11 +34,11 @@ fn spec_from_object(obj: &[(String, Json)]) -> Result<ExperimentSpec, String> {
     for (key, _) in obj {
         if !matches!(
             key.as_str(),
-            "program" | "source" | "heap" | "scheme" | "checking" | "hw" | "backend"
+            "program" | "source" | "heap" | "scheme" | "checking" | "hw" | "backend" | "timing"
         ) {
             return Err(format!(
                 "unknown experiment field {key:?} (want program or source, \
-                 plus scheme, checking, hw, heap, backend)"
+                 plus scheme, checking, hw, heap, backend, timing)"
             ));
         }
     }
@@ -53,6 +53,12 @@ fn spec_from_object(obj: &[(String, Json)]) -> Result<ExperimentSpec, String> {
     let backend = match get(obj, "backend") {
         Some(v) => spec::parse_backend(v.as_str("backend")?)?,
         None => mipsx::Backend::default(),
+    };
+    // The timing model, by contrast, IS identity: a timed point is stored
+    // under (and served from) its own content address.
+    let timing = match get(obj, "timing") {
+        Some(v) => spec::parse_timing(v.as_str("timing")?)?,
+        None => mipsx::TimingConfig::ideal(),
     };
     // An inline spec carries its own Lisp source (and optionally a heap
     // override); a named spec references a built-in benchmark. Exactly one.
@@ -78,7 +84,8 @@ fn spec_from_object(obj: &[(String, Json)]) -> Result<ExperimentSpec, String> {
         let hw = spec::parse_hw(&field("hw", spec::DEFAULT_HW)?, scheme)?;
         let config = tagstudy::Config::new(scheme, checking)
             .with_hw(hw)
-            .with_backend(backend);
+            .with_backend(backend)
+            .with_timing(timing);
         return Ok(ExperimentSpec::inline(source, config, heap));
     }
     if get(obj, "heap").is_some() {
@@ -94,7 +101,7 @@ fn spec_from_object(obj: &[(String, Json)]) -> Result<ExperimentSpec, String> {
         field("hw", spec::DEFAULT_HW)?
     );
     let mut parsed = spec::parse_spec(&text)?;
-    parsed.config = parsed.config.with_backend(backend);
+    parsed.config = parsed.config.with_backend(backend).with_timing(timing);
     Ok(parsed)
 }
 
@@ -262,6 +269,75 @@ mod tests {
         let a = StoreKey::compute("src", &specs[1].config);
         let b = StoreKey::compute("src", &specs[1].config.with_backend(Backend::Fast));
         assert_eq!(a.as_str(), b.as_str(), "backend must not split addresses");
+    }
+
+    /// The wire protocol accepts a timing preset everywhere a spec does —
+    /// string key and object field — and unlike the backend, the preset DOES
+    /// change the spec string and the content address.
+    #[test]
+    fn timing_rides_along_and_changes_identity() {
+        use mipsx::TimingConfig;
+        let body = br#"{"experiments": [
+            "frl:timing=classic5",
+            {"program": "trav", "timing": "modern"},
+            {"source": "(print 1)", "timing": "classic5"},
+            {"program": "boyer", "timing": "ideal"},
+            {"program": "boyer"}
+        ]}"#;
+        let specs = parse_batch(body).unwrap();
+        assert_eq!(specs[0].config.timing, TimingConfig::classic5());
+        assert_eq!(specs[1].config.timing, TimingConfig::modern());
+        assert_eq!(specs[2].config.timing, TimingConfig::classic5());
+        assert_eq!(specs[3].config.timing, TimingConfig::ideal());
+        assert_eq!(specs[4], specs[3], "explicit ideal equals omitted");
+        assert_eq!(specs[1].to_spec_string(), "trav:high5:full:plain:timing=modern");
+        let ideal = StoreKey::compute("src", &specs[3].config);
+        let timed = StoreKey::compute("src", &specs[3].config.with_timing(TimingConfig::modern()));
+        assert_ne!(ideal.as_str(), timed.as_str(), "timing must split addresses");
+    }
+
+    /// Unknown timing presets take the canonical error paths of both shapes.
+    #[test]
+    fn bad_timing_presets_are_rejected() {
+        let err = parse_batch(br#"{"experiments": ["frl:timing=warp"]}"#).unwrap_err();
+        assert!(err.contains("unknown timing preset \"warp\""), "{err}");
+        let err = parse_batch(br#"{"experiments": [{"program": "frl", "timing": "warp"}]}"#)
+            .unwrap_err();
+        assert!(err.contains("unknown timing preset \"warp\""), "{err}");
+    }
+
+    /// A timed measurement's stall breakdown survives the results document.
+    #[test]
+    fn timed_results_round_trip() {
+        let spec = bench::spec::parse_spec("frl:high6:none:maximal:timing=modern").unwrap();
+        let m = Measurement {
+            program: spec.program.clone(),
+            config: spec.config,
+            stats: mipsx::Stats {
+                cycles: 123,
+                committed: 45,
+                timing: Some(mipsx::TimingStats {
+                    stall_icache: 7,
+                    stall_dcache: 9,
+                    branches: 11,
+                    ..Default::default()
+                }),
+                ..Default::default()
+            },
+            compile: lisp::CompileStats {
+                procedures: 1,
+                source_lines: 2,
+                object_words: 3,
+            },
+            halt_code: 0,
+            output: "9\n".to_string(),
+        };
+        let key = StoreKey::compute("fake source", &spec.config);
+        let doc = results_json(&[(spec.clone(), key.clone(), m.clone())]);
+        let parsed = parse_results(&doc).unwrap();
+        assert_eq!(parsed[0].0, spec.to_spec_string());
+        assert_eq!(parsed[0].2.stats, m.stats);
+        assert_eq!(parsed[0].2.config, m.config);
     }
 
     /// Unknown backend values take the canonical error paths of both shapes.

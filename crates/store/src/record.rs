@@ -42,13 +42,24 @@ fn json_str(s: &str) -> String {
 /// The canonical JSON encoding of a [`Config`] — every field spelled out, so
 /// adding a field to `Config` changes the encoding (and therefore every store
 /// key) instead of silently aliasing distinct configurations.
+///
+/// The one deliberate exception: an **ideal** timing model is encoded by
+/// *omitting* the `timing` key entirely, so every pre-timing content address
+/// (and stored record) stays byte-identical. A non-ideal model appends its
+/// full structure — a different address, as it must be: the measurement
+/// carries a stall breakdown the ideal one lacks.
 pub fn config_to_json(c: &Config) -> String {
     let hw = c.hw;
+    let timing = if c.timing.is_ideal() {
+        String::new()
+    } else {
+        format!(",\"timing\":{}", timing_config_to_json(&c.timing))
+    };
     format!(
         "{{\"scheme\":{},\"checking\":\"{:?}\",\"hw\":{{\"drop_high_address_bits\":{},\
          \"tag_branch\":{},\"parallel_check\":\"{:?}\",\"generic_arith\":{},\
          \"trap_penalty\":{},\"mul_cycles\":{},\"div_cycles\":{},\"fp_cycles\":{}}},\
-         \"preshifted_pair_tag\":{},\"int_test_method\":\"{:?}\"}}",
+         \"preshifted_pair_tag\":{},\"int_test_method\":\"{:?}\"{timing}}}",
         json_str(c.scheme.name()),
         c.checking,
         hw.drop_high_address_bits,
@@ -61,6 +72,34 @@ pub fn config_to_json(c: &Config) -> String {
         hw.fp_cycles,
         c.preshifted_pair_tag,
         c.int_test_method,
+    )
+}
+
+fn cache_params_to_json(p: &mipsx::CacheParams) -> String {
+    format!(
+        "{{\"size\":{},\"ways\":{},\"line\":{}}}",
+        p.size, p.ways, p.line
+    )
+}
+
+/// Canonical encoding of a non-ideal [`mipsx::TimingConfig`]: structural, not
+/// by preset name, so a retuned preset in a future version cannot silently
+/// alias records measured under the old numbers.
+fn timing_config_to_json(t: &mipsx::TimingConfig) -> String {
+    format!(
+        "{{\"l1i\":{},\"l1d\":{},\"l2\":{},\"l2_latency\":{},\"mem_latency\":{},\
+         \"predictor\":\"{:?}\",\"predictor_bits\":{},\"btb_bits\":{},\
+         \"mispredict_penalty\":{},\"load_latency\":{}}}",
+        cache_params_to_json(&t.l1i),
+        cache_params_to_json(&t.l1d),
+        cache_params_to_json(&t.l2),
+        t.l2_latency,
+        t.mem_latency,
+        t.predictor,
+        t.predictor_bits,
+        t.btb_bits,
+        t.mispredict_penalty,
+        t.load_latency,
     )
 }
 
@@ -98,10 +137,35 @@ fn stats_to_json(s: &Stats) -> String {
         .map(|(k, v)| format!("[{},{v}]", json_str(k)))
         .collect::<Vec<_>>()
         .join(",");
+    let timing = match &s.timing {
+        None => String::new(),
+        Some(t) => format!(",\"timing\":{}", timing_stats_to_json(t)),
+    };
     format!(
         "{{\"cycles\":{},\"committed\":{},\"squashed\":{},\"trap_cycles\":{},\"traps\":{},\
-         \"class_counts\":[{classes}],\"tag_cycles\":[{tags}],\"check_cat_cycles\":[{cats}]}}",
+         \"class_counts\":[{classes}],\"tag_cycles\":[{tags}],\"check_cat_cycles\":[{cats}]{timing}}}",
         s.cycles, s.committed, s.squashed, s.trap_cycles, s.traps,
+    )
+}
+
+fn timing_stats_to_json(t: &mipsx::TimingStats) -> String {
+    format!(
+        "{{\"stall_icache\":{},\"stall_dcache\":{},\"stall_mispredict\":{},\
+         \"stall_load_use\":{},\"icache_accesses\":{},\"icache_misses\":{},\
+         \"dcache_accesses\":{},\"dcache_misses\":{},\"l2_accesses\":{},\"l2_misses\":{},\
+         \"branches\":{},\"mispredicts\":{}}}",
+        t.stall_icache,
+        t.stall_dcache,
+        t.stall_mispredict,
+        t.stall_load_use,
+        t.icache_accesses,
+        t.icache_misses,
+        t.dcache_accesses,
+        t.dcache_misses,
+        t.l2_accesses,
+        t.l2_misses,
+        t.branches,
+        t.mispredicts,
     )
 }
 
@@ -240,6 +304,12 @@ pub fn config_from_json(v: &Json) -> Result<Config, String> {
         ],
         |m| format!("{m:?}"),
     )?;
+    // An absent `timing` key is the ideal model (the encoding every
+    // pre-timing record carries).
+    let timing = match obj.iter().find(|(k, _)| k == "timing") {
+        None => mipsx::TimingConfig::ideal(),
+        Some((_, v)) => timing_config_from_json(v)?,
+    };
     Ok(Config {
         scheme,
         checking,
@@ -250,6 +320,71 @@ pub fn config_from_json(v: &Json) -> Result<Config, String> {
         // backend-independent), so it is never serialized; loads get the
         // default.
         backend: mipsx::Backend::default(),
+        timing,
+    })
+}
+
+fn cache_params_from_json(v: &Json, what: &str) -> Result<mipsx::CacheParams, String> {
+    let obj = v.as_object(what)?;
+    let as_u32 = |key: &str| -> Result<u32, String> {
+        u32::try_from(get_u64(obj, key)?).map_err(|_| format!("{what}.{key}: out of range"))
+    };
+    Ok(mipsx::CacheParams {
+        size: as_u32("size")?,
+        ways: as_u32("ways")?,
+        line: as_u32("line")?,
+    })
+}
+
+fn timing_config_from_json(v: &Json) -> Result<mipsx::TimingConfig, String> {
+    let obj = v.as_object("timing config")?;
+    let as_u32 = |key: &str| -> Result<u32, String> {
+        u32::try_from(get_u64(obj, key)?).map_err(|_| format!("timing.{key}: out of range"))
+    };
+    let as_u8 = |key: &str| -> Result<u8, String> {
+        u8::try_from(get_u64(obj, key)?).map_err(|_| format!("timing.{key}: out of range"))
+    };
+    let predictor = parse_variant(
+        "predictor",
+        get_str(obj, "predictor")?,
+        &[
+            mipsx::PredictorKind::NotTaken,
+            mipsx::PredictorKind::Bimodal,
+            mipsx::PredictorKind::Gshare,
+        ],
+        |p| format!("{p:?}"),
+    )?;
+    Ok(mipsx::TimingConfig {
+        // Only non-ideal configs are ever serialized.
+        enabled: true,
+        l1i: cache_params_from_json(get(obj, "l1i")?, "timing.l1i")?,
+        l1d: cache_params_from_json(get(obj, "l1d")?, "timing.l1d")?,
+        l2: cache_params_from_json(get(obj, "l2")?, "timing.l2")?,
+        l2_latency: as_u32("l2_latency")?,
+        mem_latency: as_u32("mem_latency")?,
+        predictor,
+        predictor_bits: as_u8("predictor_bits")?,
+        btb_bits: as_u8("btb_bits")?,
+        mispredict_penalty: as_u32("mispredict_penalty")?,
+        load_latency: as_u32("load_latency")?,
+    })
+}
+
+fn timing_stats_from_json(v: &Json) -> Result<mipsx::TimingStats, String> {
+    let obj = v.as_object("timing stats")?;
+    Ok(mipsx::TimingStats {
+        stall_icache: get_u64(obj, "stall_icache")?,
+        stall_dcache: get_u64(obj, "stall_dcache")?,
+        stall_mispredict: get_u64(obj, "stall_mispredict")?,
+        stall_load_use: get_u64(obj, "stall_load_use")?,
+        icache_accesses: get_u64(obj, "icache_accesses")?,
+        icache_misses: get_u64(obj, "icache_misses")?,
+        dcache_accesses: get_u64(obj, "dcache_accesses")?,
+        dcache_misses: get_u64(obj, "dcache_misses")?,
+        l2_accesses: get_u64(obj, "l2_accesses")?,
+        l2_misses: get_u64(obj, "l2_misses")?,
+        branches: get_u64(obj, "branches")?,
+        mispredicts: get_u64(obj, "mispredicts")?,
     })
 }
 
@@ -314,6 +449,9 @@ fn stats_from_json(v: &Json) -> Result<Stats, String> {
         stats
             .check_cat_cycles
             .insert(cat, cycles.as_u64("check cat cycles")?);
+    }
+    if let Some((_, v)) = obj.iter().find(|(k, _)| k == "timing") {
+        stats.timing = Some(timing_stats_from_json(v)?);
     }
     Ok(stats)
 }
@@ -439,6 +577,54 @@ mod tests {
         assert_eq!(m2.compile.procedures, m.compile.procedures);
         // And re-encoding is byte-identical (canonical form).
         assert_eq!(record_to_json(&key, &m2, &t2), text);
+    }
+
+    /// The ideal timing model is invisible in the encoding (so every
+    /// pre-timing address survives), while a non-ideal model round-trips
+    /// exactly and yields a different content address.
+    #[test]
+    fn timing_round_trips_and_ideal_is_invisible() {
+        let ideal = Config::baseline(CheckingMode::Full);
+        assert!(
+            !config_to_json(&ideal).contains("timing"),
+            "ideal timing must not be encoded"
+        );
+
+        let timed = ideal.with_timing(mipsx::TimingConfig::modern());
+        let encoded = config_to_json(&timed);
+        assert!(encoded.contains("\"timing\""));
+        let decoded = config_from_json(&Json::parse(&encoded).unwrap()).unwrap();
+        assert_eq!(decoded, timed);
+        assert_eq!(config_to_json(&decoded), encoded, "canonical re-encoding");
+        assert_ne!(
+            StoreKey::compute("(source)", &ideal),
+            StoreKey::compute("(source)", &timed),
+            "timing is part of the content address"
+        );
+
+        // A full record with stall stats survives the envelope too.
+        let mut m = sample_measurement();
+        m.config = timed;
+        m.stats.timing = Some(mipsx::TimingStats {
+            stall_icache: 10,
+            stall_dcache: 20,
+            stall_mispredict: 30,
+            stall_load_use: 5,
+            icache_accesses: 1000,
+            icache_misses: 3,
+            dcache_accesses: 200,
+            dcache_misses: 2,
+            l2_accesses: 5,
+            l2_misses: 1,
+            branches: 77,
+            mispredicts: 4,
+        });
+        let key = StoreKey::compute("(source)", &m.config);
+        let text = record_to_json(&key, &m, &Timing::default());
+        let (_, m2, _) = record_from_json(&text).expect("decodes");
+        assert_eq!(m2.config, m.config);
+        assert_eq!(m2.stats, m.stats);
+        assert_eq!(record_to_json(&key, &m2, &Timing::default()), text);
     }
 
     #[test]

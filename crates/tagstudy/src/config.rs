@@ -4,7 +4,7 @@ use std::fmt;
 use std::hash::{Hash, Hasher};
 
 use lisp::{CheckingMode, IntTestMethod, Options};
-use mipsx::{Backend, HwConfig};
+use mipsx::{Backend, HwConfig, TimingConfig};
 use tagword::TagScheme;
 
 /// A tag-implementation configuration: scheme × checking mode × hardware (plus
@@ -30,6 +30,10 @@ pub struct Config {
     /// Which simulator backend executes the measurement (not part of the
     /// config's identity — results are backend-independent).
     pub backend: Backend,
+    /// The microarchitectural timing model. Unlike `backend`, timing **is**
+    /// part of a config's identity: a non-ideal model adds a stall breakdown
+    /// to the measured `Stats`, so two timing configs are two experiments.
+    pub timing: TimingConfig,
 }
 
 impl PartialEq for Config {
@@ -40,6 +44,7 @@ impl PartialEq for Config {
             && self.hw == other.hw
             && self.preshifted_pair_tag == other.preshifted_pair_tag
             && self.int_test_method == other.int_test_method
+            && self.timing == other.timing
     }
 }
 
@@ -53,6 +58,7 @@ impl Hash for Config {
         self.hw.hash(state);
         self.preshifted_pair_tag.hash(state);
         self.int_test_method.hash(state);
+        self.timing.hash(state);
     }
 }
 
@@ -66,6 +72,7 @@ impl Config {
             preshifted_pair_tag: false,
             int_test_method: IntTestMethod::default(),
             backend: Backend::default(),
+            timing: TimingConfig::ideal(),
         }
     }
 
@@ -82,6 +89,12 @@ impl Config {
     /// Replace the execution backend (does not change the config's identity).
     pub fn with_backend(self, backend: Backend) -> Config {
         Config { backend, ..self }
+    }
+
+    /// Replace the timing model (changes the config's identity unless both
+    /// are ideal).
+    pub fn with_timing(self, timing: TimingConfig) -> Config {
+        Config { timing, ..self }
     }
 
     /// Convert to compiler options (heap size comes from the benchmark).
@@ -105,6 +118,9 @@ impl fmt::Display for Config {
         }
         if self.preshifted_pair_tag {
             write!(f, "/preshift")?;
+        }
+        if !self.timing.is_ideal() {
+            write!(f, "/timing={}", self.timing)?;
         }
         Ok(())
     }
@@ -147,6 +163,8 @@ mod tests {
             int_test_method: IntTestMethod::TagCompare,
             ..Config::baseline(CheckingMode::Full)
         });
+        points.push(Config::baseline(CheckingMode::Full).with_timing(TimingConfig::classic5()));
+        points.push(Config::baseline(CheckingMode::Full).with_timing(TimingConfig::modern()));
 
         let map: HashMap<Config, usize> = points.iter().enumerate().map(|(i, c)| (*c, i)).collect();
         assert_eq!(map.len(), points.len(), "all points are distinct keys");
@@ -168,5 +186,25 @@ mod tests {
             set.insert(base);
             assert!(set.contains(&c), "{backend} must hit the same cache slot");
         }
+    }
+
+    /// Timing, unlike backend, *is* identity: a non-ideal model yields a
+    /// different key (and says so in the display string), while the ideal
+    /// model is indistinguishable from never mentioning timing at all.
+    #[test]
+    fn timing_is_part_of_identity() {
+        let base = Config::baseline(CheckingMode::Full);
+        assert_eq!(base, base.with_timing(TimingConfig::ideal()));
+        assert_eq!(base.to_string(), "high5/Full");
+
+        let classic = base.with_timing(TimingConfig::classic5());
+        assert_ne!(base, classic);
+        assert_eq!(classic.to_string(), "high5/Full/timing=classic5");
+
+        let modern = base.with_timing(TimingConfig::modern());
+        assert_ne!(classic, modern);
+        let mut set = std::collections::HashSet::new();
+        set.insert(base);
+        assert!(!set.contains(&classic), "timing must split the cache");
     }
 }

@@ -194,6 +194,26 @@ impl Timing {
     }
 }
 
+/// Run a compiled program on the config's backend, attaching a
+/// [`mipsx::TimingModel`] when the config asks for one. The stall breakdown
+/// lands in `outcome.stats.timing`; every architectural result (cycles,
+/// output, halt code, the rest of `Stats`) is identical either way, which is
+/// why the ideal path skips the observer entirely.
+fn simulate(
+    compiled: &lisp::CompiledProgram,
+    config: &Config,
+) -> Result<lisp::Outcome, lisp::SimError> {
+    if config.timing.is_ideal() {
+        lisp::run_with(compiled, config.backend, programs::FUEL)
+    } else {
+        let mut model = mipsx::TimingModel::new(config.timing);
+        let mut outcome =
+            lisp::run_observed_with(compiled, config.backend, programs::FUEL, &mut model)?;
+        outcome.stats.timing = Some(model.finish());
+        Ok(outcome)
+    }
+}
+
 /// [`run_benchmark`], also reporting where the host's wall time went.
 ///
 /// # Errors
@@ -212,11 +232,10 @@ pub fn run_benchmark_timed(
         })?;
     let compile_time = compile_start.elapsed();
     let sim_start = Instant::now();
-    let outcome =
-        lisp::run_with(&compiled, config.backend, programs::FUEL).map_err(|e| StudyError::Sim {
-            program: b.name.to_string(),
-            message: e.to_string(),
-        })?;
+    let outcome = simulate(&compiled, config).map_err(|e| StudyError::Sim {
+        program: b.name.to_string(),
+        message: e.to_string(),
+    })?;
     if outcome.halt_code != lisp::exit_code::OK || outcome.output != b.expected_output {
         return Err(StudyError::WrongOutput {
             program: b.name.to_string(),
@@ -274,11 +293,10 @@ pub fn run_inline_timed(
         })?;
     let compile_time = compile_start.elapsed();
     let sim_start = Instant::now();
-    let outcome =
-        lisp::run_with(&compiled, config.backend, programs::FUEL).map_err(|e| StudyError::Sim {
-            program: name.to_string(),
-            message: e.to_string(),
-        })?;
+    let outcome = simulate(&compiled, config).map_err(|e| StudyError::Sim {
+        program: name.to_string(),
+        message: e.to_string(),
+    })?;
     let output_ok = p
         .expected_output
         .as_ref()

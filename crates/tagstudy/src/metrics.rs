@@ -98,14 +98,18 @@ impl Histogram {
     /// Estimate the `q`-quantile (`0.0 ≤ q ≤ 1.0`) by linear interpolation
     /// within the bucket holding the target rank — the same estimate
     /// Prometheus's `histogram_quantile` computes server-side. `None` when
-    /// the histogram is empty. Observations that landed in the `+Inf`
+    /// the histogram is empty — judged by the per-bucket counts, not the
+    /// `count` field, so a deserialized histogram whose `count` disagrees
+    /// with its buckets (every bucket zero) yields `None` instead of a
+    /// fabricated estimate. Observations that landed in the `+Inf`
     /// overflow bucket clamp to the largest finite bound, so the estimate is
     /// always finite (and always positive for positive observations).
     pub fn quantile(&self, q: f64) -> Option<f64> {
-        if self.count == 0 || self.buckets.is_empty() {
+        let bucketed: u64 = self.counts.iter().sum();
+        if bucketed == 0 || self.buckets.is_empty() {
             return None;
         }
-        let rank = q.clamp(0.0, 1.0) * self.count as f64;
+        let rank = q.clamp(0.0, 1.0) * bucketed as f64;
         let mut cum = 0u64;
         for (i, c) in self.counts.iter().enumerate() {
             cum += c;

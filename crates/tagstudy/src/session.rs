@@ -544,6 +544,26 @@ impl Session {
         config: Config,
         fuel: u64,
     ) -> Result<(Measurement, mipsx::Profiler), StudyError> {
+        self.profile_with_stalls(program, config, fuel)
+            .map(|(m, p, _)| (m, p))
+    }
+
+    /// [`Session::profile`], additionally attaching a
+    /// [`mipsx::TimingModel`] when `config.timing` asks for one. The stall
+    /// breakdown lands in `measurement.stats.timing`, and the per-function
+    /// stall attribution (cycles lost to icache/dcache/mispredict/load-use,
+    /// by function) is returned alongside the profiler; under the ideal model
+    /// it is `None` and the run is exactly [`Session::profile`].
+    ///
+    /// # Errors
+    ///
+    /// Any [`StudyError`] compilation or simulation raises.
+    pub fn profile_with_stalls(
+        &self,
+        program: &str,
+        config: Config,
+        fuel: u64,
+    ) -> Result<(Measurement, mipsx::Profiler, Option<Vec<mipsx::FuncStalls>>), StudyError> {
         self.emit(&Progress::Started {
             program: program.to_string(),
             config,
@@ -551,10 +571,29 @@ impl Session {
         let t0 = std::time::Instant::now();
         let compiled = self.compile_program(program, config)?;
         let compile = t0.elapsed();
-        let mut profiler = mipsx::Profiler::new(&compiled.program);
+        let profiler = mipsx::Profiler::new(&compiled.program);
         let t1 = std::time::Instant::now();
-        let measurement =
-            self.run_compiled_observed(program, config, &compiled, fuel, &mut profiler)?;
+        let (measurement, profiler, stalls) = if config.timing.is_ideal() {
+            let mut profiler = profiler;
+            let measurement =
+                self.run_compiled_observed(program, config, &compiled, fuel, &mut profiler)?;
+            (measurement, profiler, None)
+        } else {
+            // Both observers ride one run: the profiler attributes
+            // architectural cycles, the timing model attributes stalls, and
+            // they see the identical retirement stream.
+            let mut obs =
+                mipsx::trace::Chain::new(profiler, mipsx::TimingModel::new(config.timing));
+            let mut measurement =
+                self.run_compiled_observed(program, config, &compiled, fuel, &mut obs)?;
+            let mipsx::trace::Chain {
+                first: profiler,
+                second: model,
+            } = obs;
+            measurement.stats.timing = Some(model.finish());
+            let stalls = model.by_function(&compiled.program.symtab);
+            (measurement, profiler, Some(stalls))
+        };
         self.emit(&Progress::Finished {
             program: program.to_string(),
             config,
@@ -563,7 +602,7 @@ impl Session {
                 simulate: t1.elapsed(),
             },
         });
-        Ok((measurement, profiler))
+        Ok((measurement, profiler, stalls))
     }
 
     /// Render the observability surface as a short plain-text summary: cache
